@@ -1,0 +1,25 @@
+"""Shared settings for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures on shortened
+traces (the full-size run is ``repro-experiments``), times it with
+pytest-benchmark, and asserts the headline *shape* the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Requests per trace in benchmark mode (full traces: Table III counts).
+QUICK_REQUESTS = 1200
+#: Seed distinct from the default release seed, exercising robustness.
+BENCH_SEED = 2015
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer and return it."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def quick():
+    return {"seed": BENCH_SEED, "num_requests": QUICK_REQUESTS}

@@ -1,0 +1,29 @@
+"""Benchmark: the six characteristics plus the BIOtracer overhead claim."""
+
+from repro.experiments import characteristics, overhead
+
+from conftest import run_once
+
+
+def test_characteristics_all_hold(benchmark, quick):
+    result = run_once(benchmark, lambda: characteristics.run(**quick))
+    print("\n" + result.render())
+    failed = [r.number for r in result.data["results"] if not r.holds]
+    # On shortened traces the queue-sensitive checks may drift slightly;
+    # at least five of the six must hold, and the trace-intrinsic ones
+    # (1, 2, 5, 6) always must.
+    for check in result.data["results"]:
+        if check.number in (1, 2, 5, 6):
+            assert check.holds, f"characteristic {check.number} failed"
+    assert len(failed) <= 1
+
+
+def test_biotracer_overhead_about_two_percent(benchmark):
+    result = run_once(
+        benchmark, lambda: overhead.run(apps=["Installing", "CameraVideo"],
+                                        duration_s=420.0)
+    )
+    print("\n" + result.render())
+    for app, ratio in result.data["ratios"].items():
+        # Section II-C: ~6 extra I/Os per ~300 records = about 2 %.
+        assert ratio < 0.03, app

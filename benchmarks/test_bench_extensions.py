@@ -1,0 +1,44 @@
+"""Benchmarks for the extension studies (SLC, FTL scheme, lifetime)."""
+
+from repro.experiments import ftl_study, lifetime, slc_study
+
+from conftest import BENCH_SEED, run_once
+
+
+def test_extension_slc_study(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: slc_study.run(seed=BENCH_SEED, num_requests=1500,
+                              apps=["Messaging", "Movie"]),
+    )
+    print("\n" + result.render())
+    mrt = result.data["mrt"]
+    # SLC mode pays off where 4 KB requests dominate, barely where they don't.
+    slc_gain = {app: 1 - values["HPS-SLC"] / values["HPS"] for app, values in mrt.items()}
+    assert slc_gain["Messaging"] > 0.15
+    assert slc_gain["Messaging"] > slc_gain["Movie"]
+
+
+def test_extension_ftl_study(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: ftl_study.run(seed=BENCH_SEED, num_requests=1500,
+                              apps=("Messaging",)),
+    )
+    print("\n" + result.render())
+    data = result.data["Messaging"]
+    # The simple FTL's RAM advantage and its merge-storm penalty.
+    assert data["hybrid-log(8)"]["mapping_entries"] < data["page"]["mapping_entries"] / 5
+    assert data["hybrid-log(8)"]["mrt_ms"] > 3 * data["page"]["mrt_ms"]
+    # A bigger log pool softens the pain.
+    assert data["hybrid-log(32)"]["mrt_ms"] < data["hybrid-log(8)"]["mrt_ms"]
+
+
+def test_extension_lifetime(benchmark):
+    result = run_once(
+        benchmark, lambda: lifetime.run(seed=BENCH_SEED, num_requests=1500, rounds=4)
+    )
+    print("\n" + result.render())
+    data = result.data
+    assert data["8PS"]["mean_block_cycles"] > data["4PS"]["mean_block_cycles"]
+    assert data["8PS"]["write_amplification"] > data["4PS"]["write_amplification"]

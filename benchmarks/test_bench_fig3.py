@@ -1,0 +1,35 @@
+"""Fig. 3 benchmark: throughput vs request size on the reference device."""
+
+from repro.trace import KIB, MIB
+from repro.analysis import throughput_curves
+from repro.emmc import four_ps
+
+from conftest import run_once
+
+SIZES = [4 * KIB, 16 * KIB, 64 * KIB, 256 * KIB, 1 * MIB]
+
+
+def test_fig3_throughput_curves(benchmark):
+    curves = run_once(
+        benchmark,
+        lambda: throughput_curves(
+            four_ps(), read_sizes=SIZES[:4], write_sizes=SIZES,
+            total_bytes_per_point=16 * MIB,
+        ),
+    )
+    reads = {p.size_bytes: p.mb_per_s for p in curves["read"]}
+    writes = {p.size_bytes: p.mb_per_s for p in curves["write"]}
+    print("\nFig 3 (MB/s):")
+    for size in SIZES:
+        row = f"  {size // KIB:6d} KiB  read={reads.get(size, float('nan')):6.2f}"
+        row += f"  write={writes[size]:6.2f}"
+        print(row)
+    # Shape: both curves rise with size; reads beat writes at every size.
+    read_rates = [reads[s] for s in SIZES[:4]]
+    assert read_rates == sorted(read_rates)
+    write_rates = [writes[s] for s in SIZES]
+    assert write_rates == sorted(write_rates)
+    for size in SIZES[:4]:
+        assert reads[size] > writes[size]
+    # Paper endpoints: 4K read ~13.9 MB/s; ours must land in that regime.
+    assert 8.0 < reads[4 * KIB] < 25.0

@@ -1,0 +1,20 @@
+"""Fig. 4 benchmark: request size distributions of the 18 applications."""
+
+from repro.experiments import fig4
+
+from conftest import run_once
+
+
+def test_fig4_size_distributions(benchmark, quick):
+    result = run_once(benchmark, lambda: fig4.run(**quick))
+    print("\n" + result.render())
+    histograms = result.data["histograms"]
+    # Characteristic 2's shape: 15 of 18 traces have a 4 KB majority class
+    # in the 44.9-57.4 % band (sampling tolerance: widen slightly).
+    in_band = sum(1 for h in histograms.values() if 0.40 <= h["<=4K"] <= 0.62)
+    assert in_band >= 14
+    # The three called-out exceptions.
+    assert histograms["Movie"]["<=4K"] < 0.2
+    assert histograms["Movie"]["(16K,64K]"] > 0.5  # "over 65 %" in the paper
+    assert histograms["Booting"]["<=4K"] < 0.40
+    assert histograms["CameraVideo"][">256K"] > 0.05  # large streaming writes

@@ -1,0 +1,28 @@
+"""Fig. 5 benchmark: response time distributions (collection replay)."""
+
+from repro.experiments import fig5
+
+from conftest import run_once
+
+
+def test_fig5_response_distributions(benchmark, quick):
+    result = run_once(benchmark, lambda: fig5.run(**quick))
+    print("\n" + result.render())
+    histograms = result.data["histograms"]
+    # Paper trends: the vast majority of requests complete within 16 ms and
+    # very few exceed 128 ms.  The data-intensive outliers (Fig. 8b's four
+    # traces) legitimately carry more long responses.
+    heavy = {"CameraVideo", "Installing", "Booting", "Amazon"}
+    for name, histogram in histograms.items():
+        within_16ms = sum(
+            histogram[label]
+            for label in ("<=2ms", "(2,4]ms", "(4,8]ms", "(8,16]ms")
+        )
+        assert within_16ms > (0.45 if name in heavy else 0.75), name
+        # CameraVideo's multi-MB writes run ~5x slower on the simulated
+        # device than on the real eMMC (see EXPERIMENTS.md deviations), so
+        # its long-response tail is fatter than the paper's.
+        assert histogram[">128ms"] < (0.35 if name == "CameraVideo" else 0.05), name
+    # Busy small-request apps complete mostly in the fastest buckets.
+    twitter = histograms["Twitter"]
+    assert twitter["<=2ms"] + twitter["(2,4]ms"] > 0.6

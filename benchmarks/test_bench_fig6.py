@@ -1,0 +1,23 @@
+"""Fig. 6 benchmark: inter-arrival time distributions."""
+
+from repro.experiments import fig6
+
+from conftest import run_once
+
+
+def test_fig6_interarrival_distributions(benchmark, quick):
+    result = run_once(benchmark, lambda: fig6.run(**quick))
+    print("\n" + result.render())
+    histograms = result.data["histograms"]
+    # Characteristic 6: in ~10 of 18 traces more than 20 % of gaps > 16 ms.
+    heavy_tail = sum(
+        1
+        for histogram in histograms.values()
+        if histogram["(16,64]ms"] + histogram["(64,256]ms"] + histogram[">256ms"] > 0.20
+    )
+    assert heavy_tail >= 9
+    # Movie: most gaps under 1 ms despite a long mean gap.
+    assert histograms["Movie"]["<=1ms"] > 0.5
+    # CallIn/CallOut: sparse traffic, mostly very long gaps.
+    for name in ("CallIn", "CallOut"):
+        assert histograms[name][">256ms"] > 0.3, name

@@ -1,0 +1,29 @@
+"""Fig. 7 benchmark: combo-trace I/O patterns (all three panels)."""
+
+from repro.workloads import COMBO_APPS
+from repro.experiments import fig7
+
+from conftest import run_once
+
+
+def test_fig7_combo_patterns(benchmark, quick):
+    result = run_once(benchmark, lambda: fig7.run(**quick))
+    print("\n" + result.render())
+    sizes = result.data["sizes"]
+    gaps = result.data["gaps"]
+    responses = result.data["responses"]
+    assert set(sizes) == set(COMBO_APPS)
+    # Fig. 7a: Music-included combos show a higher 4 KB share than their
+    # Radio-included counterparts.
+    for suffix in ("WB", "FB", "Msg"):
+        assert sizes[f"Music/{suffix}"]["<=4K"] > sizes[f"Radio/{suffix}"]["<=4K"]
+    # Fig. 7b: combo response times stay ordinary (no blow-up from
+    # concurrency) -- most requests within 16 ms.
+    for name, histogram in responses.items():
+        within = sum(histogram[l] for l in ("<=2ms", "(2,4]ms", "(4,8]ms", "(8,16]ms"))
+        assert within > 0.7, name
+    # Fig. 7c: every combo except Music/FB has > 20 % of gaps above 4 ms.
+    for name, histogram in gaps.items():
+        above_4ms = 1.0 - histogram["<=1ms"] - histogram["(1,4]ms"]
+        if name != "Music/FB":
+            assert above_4ms > 0.20, name

@@ -1,0 +1,35 @@
+"""Fig. 8 benchmark: mean response time of 4PS vs 8PS vs HPS.
+
+Paper headlines to reproduce in shape: HPS beats 4PS everywhere (up to
+86 % on Booting, least on Movie), 8PS performs very similarly to HPS, and
+the data-intensive traces (Fig. 8b) show by far the largest gains.
+"""
+
+from repro.experiments import fig8
+
+from conftest import BENCH_SEED, run_once
+
+#: A representative mix: the heavy Fig. 8b traces plus light Fig. 8a ones.
+APPS = ["Booting", "Installing", "CameraVideo", "Movie", "Twitter", "Facebook"]
+
+
+def test_fig8_scheme_comparison(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig8.run(seed=BENCH_SEED, num_requests=2500, apps=APPS),
+    )
+    print("\n" + result.render())
+    mrt = result.data["mrt"]
+    improvements = result.data["improvements"]
+    # HPS never loses to 4PS by more than noise.
+    for name, gain in improvements.items():
+        assert gain > -0.05, name
+    # The data-intensive traces gain the most (Fig. 8b), by a wide margin.
+    assert improvements["Booting"] > 0.35
+    assert improvements["Installing"] > 0.35
+    assert min(improvements["Booting"], improvements["Installing"]) > improvements["Movie"]
+    # 8PS is very similar to HPS (the paper's observation).
+    for name, per_scheme in mrt.items():
+        assert abs(per_scheme["8PS"] - per_scheme["HPS"]) / per_scheme["HPS"] < 0.30, name
+    # Fig. 8b traces have much higher MRTs than Fig. 8a traces on 4PS.
+    assert mrt["Booting"]["4PS"] > 3 * mrt["Twitter"]["4PS"]

@@ -1,0 +1,26 @@
+"""Table III benchmark: size statistics of all 25 traces."""
+
+from repro.workloads import ALL_TRACES, TABLE_III
+from repro.experiments import table3
+
+from conftest import run_once
+
+
+def test_table3_size_stats(benchmark, quick):
+    result = run_once(benchmark, lambda: table3.run(**quick))
+    print("\n" + result.render())
+    measured = result.data["measured"]
+    assert set(measured) == set(ALL_TRACES)
+    # Shape checks against the paper, on every trace: write-request share
+    # within a few points; average size within 50 % (the shortened traces
+    # sample the heavy-tailed top size bucket sparsely, so data-intensive
+    # apps get a wider band -- the full-size run lands within ~15 %).
+    heavy_tailed = {"Installing", "CameraVideo", "Booting"}
+    for name, stats in measured.items():
+        paper = TABLE_III[name]
+        assert abs(stats.write_req_pct - paper.write_req_pct) < 6.0, name
+        ratio = stats.avg_size_kib / paper.avg_size_kib
+        if name in heavy_tailed:
+            assert 0.3 < ratio < 3.0, name
+        else:
+            assert 0.5 < ratio < 1.6, name

@@ -1,0 +1,25 @@
+"""Table IV benchmark: timing statistics of all 25 traces (collection)."""
+
+from repro.workloads import ALL_TRACES, TABLE_IV
+from repro.experiments import table4
+
+from conftest import run_once
+
+
+def test_table4_timing_stats(benchmark, quick):
+    result = run_once(benchmark, lambda: table4.run(**quick))
+    print("\n" + result.render())
+    measured = result.data["measured"]
+    assert set(measured) == set(ALL_TRACES)
+    for name, stats in measured.items():
+        paper = TABLE_IV[name]
+        # Localities are generator-controlled: tight.
+        assert abs(stats.spatial_locality_pct - paper.spatial_locality_pct) < 5.0, name
+        assert abs(stats.temporal_locality_pct - paper.temporal_locality_pct) < 12.0, name
+        # No-wait ratio comes from the closed-loop collection: within 15
+        # points (20 for the giant-write outlier CameraVideo, whose queue
+        # behaviour is very sensitive to the sampled write sizes).
+        tolerance = 20.0 if name == "CameraVideo" else 15.0
+        assert abs(stats.nowait_pct - paper.nowait_pct) < tolerance, name
+        # Device service times land in the real device's regime (ms scale).
+        assert 0.3 < stats.mean_service_ms < 40.0, name

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Characterize one application's I/O like the paper's Section III.
+
+Usage::
+
+    python examples/characterize_workload.py [app-name] [--quick]
+
+Prints the Table III and Table IV rows for the application (measured on a
+closed-loop collection, next to the published values) plus its Fig. 4/5/6
+histograms.
+"""
+
+import sys
+
+from repro.analysis import (
+    interarrival_distribution,
+    render_histogram_table,
+    render_table,
+    response_distribution,
+    size_distribution,
+    size_stats,
+    timing_stats,
+)
+from repro.workloads import ALL_TRACES, TABLE_III, TABLE_IV, collect
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if not a.startswith("-")]
+    app = args[0] if args else "Messaging"
+    quick = "--quick" in sys.argv
+    if app not in ALL_TRACES:
+        raise SystemExit(f"unknown app {app!r}; pick one of: {', '.join(ALL_TRACES)}")
+
+    print(f"Collecting {app} closed-loop on the reference device ...")
+    result = collect(app, num_requests=2000 if quick else None)
+    trace = result.trace
+
+    sizes = size_stats(trace)
+    p3 = TABLE_III[app]
+    print(render_table(
+        ["Metric", "Measured", "Paper"],
+        [
+            ["Requests", f"{sizes.num_requests:,}", f"{p3.num_requests:,}"],
+            ["Data size (KiB)", f"{sizes.data_size_kib:,.0f}", f"{p3.data_size_kib:,}"],
+            ["Avg size (KiB)", sizes.avg_size_kib, p3.avg_size_kib],
+            ["Avg read (KiB)", sizes.avg_read_kib, p3.avg_read_kib],
+            ["Avg write (KiB)", sizes.avg_write_kib, p3.avg_write_kib],
+            ["Write req %", sizes.write_req_pct, p3.write_req_pct],
+            ["Write size %", sizes.write_size_pct, p3.write_size_pct],
+        ],
+        title=f"\nTable III row -- {app}",
+    ))
+
+    timing = timing_stats(trace)
+    p4 = TABLE_IV[app]
+    print(render_table(
+        ["Metric", "Measured", "Paper"],
+        [
+            ["Duration (s)", timing.duration_s, p4.duration_s],
+            ["Arrival rate (req/s)", timing.arrival_rate, p4.arrival_rate],
+            ["Access rate (KiB/s)", timing.access_rate_kib_s, p4.access_rate_kib_s],
+            ["No-wait %", timing.nowait_pct, p4.nowait_pct],
+            ["Mean service (ms)", timing.mean_service_ms, p4.mean_service_ms],
+            ["Mean response (ms)", timing.mean_response_ms, p4.mean_response_ms],
+            ["Spatial locality %", timing.spatial_locality_pct, p4.spatial_locality_pct],
+            ["Temporal locality %", timing.temporal_locality_pct, p4.temporal_locality_pct],
+        ],
+        title=f"\nTable IV row -- {app}",
+    ))
+
+    print()
+    print(render_histogram_table(
+        [app], [size_distribution(trace)], title="Fig. 4 row: request sizes (%)"
+    ))
+    print()
+    print(render_histogram_table(
+        [app], [response_distribution(trace)], title="Fig. 5 row: response times (%)"
+    ))
+    print()
+    print(render_histogram_table(
+        [app], [interarrival_distribution(trace)],
+        title="Fig. 6 row: inter-arrival times (%)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

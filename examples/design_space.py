@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Design-space exploration: page organization x parallelism x cell mode.
+
+Usage::
+
+    python examples/design_space.py [app-name]
+
+Sweeps a grid of eMMC designs -- page scheme (4PS/8PS/HPS/HPS-SLC),
+channel count, and multi-plane commands -- on one workload and prints a
+ranked table of mean response time, space utilization and raw capacity,
+i.e. the kind of exploration the paper's implications are meant to guide.
+"""
+
+import dataclasses
+import sys
+
+from repro.analysis import render_table
+from repro.emmc import EmmcDevice, eight_ps, four_ps, hps, hps_slc
+from repro.workloads import ALL_TRACES, generate_trace
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "Twitter"
+    if app not in ALL_TRACES:
+        raise SystemExit(f"unknown app {app!r}; pick one of: {', '.join(ALL_TRACES)}")
+
+    print(f"Sweeping 16 designs on the {app} trace ...")
+    trace = generate_trace(app)
+    rows = []
+    for scheme_factory in (four_ps, eight_ps, hps, hps_slc):
+        for channels in (2, 4):
+            for multi_plane in (False, True):
+                base = scheme_factory()
+                geometry = dataclasses.replace(base.geometry, channels=channels)
+                config = base.with_overrides(
+                    geometry=geometry, multi_plane=multi_plane
+                )
+                result = EmmcDevice(config).replay(trace.without_timing())
+                rows.append(
+                    [
+                        base.name,
+                        channels,
+                        "yes" if multi_plane else "no",
+                        result.stats.mean_response_ms,
+                        result.stats.space_utilization,
+                        geometry.capacity_bytes() // 2**30,
+                    ]
+                )
+    rows.sort(key=lambda row: row[3])
+    print()
+    print(render_table(
+        ["Scheme", "Channels", "Multi-plane", "MRT ms", "Space util", "GiB"],
+        rows,
+        title=f"Designs ranked by mean response time ({app})",
+    ))
+    print(
+        "\nNote how extra channels/multi-plane buy little at this load "
+        "(Implication 1), while the page organization and SLC mode move "
+        "the needle -- at capacity or utilization cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Show the HPS die structure (Fig. 10) and the distributor's splitting.
+
+Usage::
+
+    python examples/hps_structure.py
+"""
+
+from repro.trace import KIB, Op, Request
+from repro.emmc import (
+    RequestDistributor,
+    describe_die,
+    eight_ps,
+    four_ps,
+    hps,
+    table_v_configs,
+)
+
+
+def main() -> None:
+    print("Table V device structures (one die each):\n")
+    for config in table_v_configs().values():
+        print(describe_die(config))
+        print()
+
+    print("Request distributor splits (the paper's 20 KB example):")
+    request = Request(arrival_us=0.0, lba=0, size=20 * KIB, op=Op.WRITE)
+    for config in (four_ps(), eight_ps(), hps()):
+        distributor = RequestDistributor(config.geometry.kinds())
+        groups = distributor.split_write(request)
+        consumed = distributor.flash_bytes_for(request)
+        split = " + ".join(str(group.kind) for group in groups)
+        print(
+            f"  {config.name}: {split}  -> {consumed // KIB} KiB consumed "
+            f"(utilization {request.size / consumed:.1%})"
+        )
+
+
+if __name__ == "__main__":
+    main()

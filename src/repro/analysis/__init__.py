@@ -1,0 +1,81 @@
+"""Trace characterization: the paper's Tables III/IV and Figs. 3-7."""
+
+from .characteristics import (
+    CharacteristicResult,
+    characteristic_1,
+    characteristic_2,
+    characteristic_3,
+    characteristic_4,
+    characteristic_5,
+    characteristic_6,
+    check_all,
+)
+from .correlation import (
+    SizeResponseCorrelation,
+    correlations,
+    mean_spearman,
+    size_response_correlation,
+)
+from .similarity import histogram_cosine, rank_alignment, size_response_similarity
+from .distributions import (
+    interarrival_distribution,
+    long_gap_share,
+    response_distribution,
+    size_distribution,
+    small_request_share,
+)
+from .percentiles import cdf, response_percentiles_ms, service_percentiles_ms
+from .locality import Localities, measure, spatial_locality, temporal_locality
+from .report import render_histogram_table, render_table
+from .size_stats import SizeStats, size_stats
+from .throughput import (
+    READ_SIZES,
+    ThroughputPoint,
+    WRITE_SIZES,
+    measure_throughput,
+    throughput_curves,
+    trace_throughput_by_size,
+)
+from .timing_stats import TimingStats, timing_stats
+
+__all__ = [
+    "CharacteristicResult",
+    "characteristic_1",
+    "characteristic_2",
+    "characteristic_3",
+    "characteristic_4",
+    "characteristic_5",
+    "characteristic_6",
+    "check_all",
+    "SizeResponseCorrelation",
+    "correlations",
+    "mean_spearman",
+    "size_response_correlation",
+    "histogram_cosine",
+    "rank_alignment",
+    "size_response_similarity",
+    "interarrival_distribution",
+    "long_gap_share",
+    "response_distribution",
+    "size_distribution",
+    "small_request_share",
+    "cdf",
+    "response_percentiles_ms",
+    "service_percentiles_ms",
+    "Localities",
+    "measure",
+    "spatial_locality",
+    "temporal_locality",
+    "render_histogram_table",
+    "render_table",
+    "SizeStats",
+    "size_stats",
+    "READ_SIZES",
+    "ThroughputPoint",
+    "WRITE_SIZES",
+    "measure_throughput",
+    "throughput_curves",
+    "trace_throughput_by_size",
+    "TimingStats",
+    "timing_stats",
+]

@@ -1,0 +1,50 @@
+"""Bucketed distributions: Figs. 4, 5, 6 and 7 of the paper.
+
+Each figure is a per-application stacked histogram; here a distribution is
+a ``{bucket label: fraction}`` dict over the paper's bucket edges (see
+:mod:`repro.workloads.buckets`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.trace import Trace, US_PER_MS
+from repro.workloads.buckets import (
+    INTERARRIVAL_BUCKETS_MS,
+    RESPONSE_BUCKETS_MS,
+    SIZE_BUCKETS,
+    histogram,
+)
+
+
+def size_distribution(trace: Trace) -> Dict[str, float]:
+    """Fig. 4 / Fig. 7a: request size histogram (fractions per bucket)."""
+    return histogram([request.size for request in trace], SIZE_BUCKETS)
+
+
+def response_distribution(trace: Trace) -> Dict[str, float]:
+    """Fig. 5 / Fig. 7b: response-time histogram, for a replayed trace."""
+    values = [
+        request.response_us / US_PER_MS for request in trace if request.completed
+    ]
+    return histogram(values, RESPONSE_BUCKETS_MS)
+
+
+def interarrival_distribution(trace: Trace) -> Dict[str, float]:
+    """Fig. 6 / Fig. 7c: inter-arrival-time histogram."""
+    values = [gap / US_PER_MS for gap in trace.inter_arrival_us()]
+    return histogram(values, INTERARRIVAL_BUCKETS_MS)
+
+
+def small_request_share(trace: Trace) -> float:
+    """Fraction of single-page (<= 4 KB) requests (Characteristic 2)."""
+    return size_distribution(trace).get("<=4K", 0.0)
+
+
+def long_gap_share(trace: Trace, threshold_ms: float = 16.0) -> float:
+    """Fraction of inter-arrival gaps above ``threshold_ms`` (Char. 6)."""
+    gaps = trace.inter_arrival_us()
+    if not gaps:
+        return 0.0
+    return sum(1 for gap in gaps if gap > threshold_ms * US_PER_MS) / len(gaps)

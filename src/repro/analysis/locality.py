@@ -1,0 +1,65 @@
+"""Spatial and temporal locality, per the paper's definitions (Section III-C).
+
+* Spatial locality: the percentage of sequential request accesses over the
+  total number of requests.  "A sequential request access happens when the
+  starting address of the current request is next to the ending address of
+  its predecessor."
+* Temporal locality: the percentage of address hits out of the total number
+  of requests, where the hit count "is increased by one when an address is
+  re-accessed."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+from repro.trace import Trace
+
+
+@dataclass(frozen=True)
+class Localities:
+    """Measured localities of a trace, as fractions in [0, 1]."""
+
+    spatial: float
+    temporal: float
+
+    @property
+    def spatial_pct(self) -> float:
+        """Spatial locality as a percentage."""
+        return self.spatial * 100.0
+
+    @property
+    def temporal_pct(self) -> float:
+        """Temporal locality as a percentage."""
+        return self.temporal * 100.0
+
+
+def spatial_locality(trace: Trace) -> float:
+    """Fraction of requests that start exactly at their predecessor's end."""
+    if len(trace) == 0:
+        return 0.0
+    sequential = sum(
+        1
+        for previous, current in zip(trace.requests, trace.requests[1:])
+        if current.lba == previous.end_lba
+    )
+    return sequential / len(trace)
+
+
+def temporal_locality(trace: Trace) -> float:
+    """Fraction of requests whose start address was accessed before."""
+    if len(trace) == 0:
+        return 0.0
+    seen: Set[int] = set()
+    hits = 0
+    for request in trace:
+        if request.lba in seen:
+            hits += 1
+        seen.add(request.lba)
+    return hits / len(trace)
+
+
+def measure(trace: Trace) -> Localities:
+    """Both localities in one pass-friendly call."""
+    return Localities(spatial=spatial_locality(trace), temporal=temporal_locality(trace))

@@ -1,0 +1,44 @@
+"""Latency percentile utilities (tail behaviour behind Fig. 5)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.trace import Trace, US_PER_MS
+
+DEFAULT_PERCENTILES: Sequence[float] = (50.0, 90.0, 95.0, 99.0)
+
+
+def response_percentiles_ms(
+    trace: Trace, percentiles: Sequence[float] = DEFAULT_PERCENTILES
+) -> Dict[float, float]:
+    """Response-time percentiles of a replayed trace, milliseconds."""
+    values = [r.response_us for r in trace if r.completed]
+    return _percentiles(values, percentiles)
+
+
+def service_percentiles_ms(
+    trace: Trace, percentiles: Sequence[float] = DEFAULT_PERCENTILES
+) -> Dict[float, float]:
+    """Service-time percentiles of a replayed trace, milliseconds."""
+    values = [r.service_us for r in trace if r.completed]
+    return _percentiles(values, percentiles)
+
+
+def _percentiles(values: List[float], percentiles: Sequence[float]) -> Dict[float, float]:
+    for p in percentiles:
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} out of range")
+    if not values:
+        return {p: 0.0 for p in percentiles}
+    array = np.asarray(values, dtype=np.float64) / US_PER_MS
+    return {p: float(np.percentile(array, p)) for p in percentiles}
+
+
+def cdf(values: Sequence[float]) -> List[tuple]:
+    """Empirical CDF points (value, fraction <= value), sorted by value."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]

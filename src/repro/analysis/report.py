@@ -1,0 +1,62 @@
+"""Plain-text table rendering for the experiment harness.
+
+The experiments print the same rows the paper's tables and figures report;
+this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are shown with two decimals; everything else via ``str``.
+    """
+    formatted_rows: List[List[str]] = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in formatted_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in formatted_rows:
+        lines.append(" | ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_histogram_table(
+    names: Sequence[str],
+    histograms: Sequence[dict],
+    title: Optional[str] = None,
+) -> str:
+    """Render per-application bucket histograms (Fig. 4/5/6 style), in %."""
+    if not histograms:
+        return title or ""
+    labels = list(histograms[0].keys())
+    rows = [
+        [name] + [100.0 * histogram.get(label, 0.0) for label in labels]
+        for name, histogram in zip(names, histograms)
+    ]
+    return render_table(["App"] + labels, rows, title=title)

@@ -1,0 +1,86 @@
+"""Distribution-shape similarity (the Fig. 5 correlation claim).
+
+"We find that the response time distributions are strongly correlated to
+the request size distributions" -- a statement about the *shapes of the
+per-application histograms*, e.g. Movie's 16-64 KB size hump reappearing
+as a 4-8 ms response hump.  We quantify it two ways:
+
+* :func:`histogram_cosine` -- cosine similarity between one app's size
+  histogram and its response histogram (both are 6-vectors over ordered
+  buckets, so a hump in the same relative position scores high);
+* :func:`rank_alignment` -- Spearman correlation across applications
+  between the *mean size bucket index* and the *mean response bucket
+  index* (apps with bigger requests respond slower).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.trace import Trace
+
+from .correlation import _rank, _safe_corrcoef
+from .distributions import response_distribution, size_distribution
+
+
+def _smooth(vector: Sequence[float]) -> List[float]:
+    """[0.25, 0.5, 0.25] kernel: tolerate a one-bucket shift between the
+    size and time axes (their bucket edges are not commensurate)."""
+    smoothed = []
+    for index in range(len(vector)):
+        left = vector[index - 1] if index > 0 else 0.0
+        right = vector[index + 1] if index + 1 < len(vector) else 0.0
+        smoothed.append(0.25 * left + 0.5 * vector[index] + 0.25 * right)
+    return smoothed
+
+
+def histogram_cosine(
+    first: Dict[str, float], second: Dict[str, float], smooth: bool = True
+) -> float:
+    """Cosine similarity between two bucket histograms (order-aligned).
+
+    Both histograms are taken as vectors in their own bucket order; they
+    must have the same number of buckets.  With ``smooth`` (default) both
+    vectors pass through a small blur first, so a hump landing one bucket
+    off on the other axis still scores as similar.
+    """
+    a = list(first.values())
+    b = list(second.values())
+    if len(a) != len(b):
+        raise ValueError("histograms must have the same number of buckets")
+    if smooth:
+        a = _smooth(a)
+        b = _smooth(b)
+    dot = sum(x * y for x, y in zip(a, b))
+    norm = math.sqrt(sum(x * x for x in a)) * math.sqrt(sum(y * y for y in b))
+    return dot / norm if norm else 0.0
+
+
+def _mean_bucket_index(histogram: Dict[str, float]) -> float:
+    return sum(index * share for index, share in enumerate(histogram.values()))
+
+
+def size_response_similarity(trace: Trace) -> float:
+    """Cosine similarity of one trace's size and response histograms."""
+    return histogram_cosine(size_distribution(trace), response_distribution(trace))
+
+
+def rank_alignment(traces: Sequence[Trace]) -> float:
+    """Across apps: do bigger-request apps have slower responses?
+
+    Returns the Spearman correlation between per-app mean size bucket and
+    mean response bucket (1.0 = perfectly aligned rankings).
+    """
+    import numpy as np
+
+    sizes: List[float] = []
+    responses: List[float] = []
+    for trace in traces:
+        sizes.append(_mean_bucket_index(size_distribution(trace)))
+        responses.append(_mean_bucket_index(response_distribution(trace)))
+    if len(traces) < 2:
+        return 0.0
+    return _safe_corrcoef(
+        _rank(np.asarray(sizes)), _rank(np.asarray(responses))
+    )

@@ -1,0 +1,48 @@
+"""Size-related trace characterization (Table III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace import KIB, Trace
+
+
+@dataclass(frozen=True)
+class SizeStats:
+    """The measured counterpart of one Table III row."""
+
+    name: str
+    data_size_kib: float
+    num_requests: int
+    max_size_kib: float
+    avg_size_kib: float
+    avg_read_kib: float
+    avg_write_kib: float
+    write_req_pct: float
+    write_size_pct: float
+
+
+def size_stats(trace: Trace) -> SizeStats:
+    """Compute every Table III column for ``trace``.
+
+    Averages over an empty class (e.g. a trace with no reads) are reported
+    as 0, mirroring how a column would be blank in the paper's table.
+    """
+    if len(trace) == 0:
+        return SizeStats(trace.name, 0.0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    sizes = [request.size for request in trace]
+    read_sizes = [request.size for request in trace if request.is_read]
+    write_sizes = [request.size for request in trace if request.is_write]
+    total = sum(sizes)
+    written = sum(write_sizes)
+    return SizeStats(
+        name=trace.name,
+        data_size_kib=total / KIB,
+        num_requests=len(trace),
+        max_size_kib=max(sizes) / KIB,
+        avg_size_kib=total / len(sizes) / KIB,
+        avg_read_kib=(sum(read_sizes) / len(read_sizes) / KIB) if read_sizes else 0.0,
+        avg_write_kib=(written / len(write_sizes) / KIB) if write_sizes else 0.0,
+        write_req_pct=100.0 * len(write_sizes) / len(sizes),
+        write_size_pct=100.0 * written / total if total else 0.0,
+    )

@@ -1,0 +1,57 @@
+"""Timing-related trace characterization (Table IV)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace import Trace, US_PER_MS
+
+from .locality import measure as measure_localities
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """The measured counterpart of one Table IV row."""
+
+    name: str
+    duration_s: float
+    arrival_rate: float
+    access_rate_kib_s: float
+    nowait_pct: float
+    mean_service_ms: float
+    mean_response_ms: float
+    spatial_locality_pct: float
+    temporal_locality_pct: float
+    mean_interarrival_ms: float
+
+
+def timing_stats(trace: Trace) -> TimingStats:
+    """Compute every Table IV column for ``trace``.
+
+    The service/response/no-wait columns need device timestamps; pass a
+    trace that was replayed on an :class:`~repro.emmc.device.EmmcDevice`
+    (they are reported as 0 for an un-replayed trace, like the localities
+    of an empty trace).
+    """
+    localities = measure_localities(trace)
+    completed = [request for request in trace if request.completed]
+    gaps = trace.inter_arrival_us()
+    mean_gap_ms = (sum(gaps) / len(gaps) / US_PER_MS) if gaps else 0.0
+    if completed:
+        nowait_pct = 100.0 * sum(1 for r in completed if r.no_wait) / len(completed)
+        mean_service_ms = sum(r.service_us for r in completed) / len(completed) / US_PER_MS
+        mean_response_ms = sum(r.response_us for r in completed) / len(completed) / US_PER_MS
+    else:
+        nowait_pct = mean_service_ms = mean_response_ms = 0.0
+    return TimingStats(
+        name=trace.name,
+        duration_s=trace.duration_s,
+        arrival_rate=trace.arrival_rate(),
+        access_rate_kib_s=trace.access_rate_kib_s(),
+        nowait_pct=nowait_pct,
+        mean_service_ms=mean_service_ms,
+        mean_response_ms=mean_response_ms,
+        spatial_locality_pct=localities.spatial_pct,
+        temporal_locality_pct=localities.temporal_pct,
+        mean_interarrival_ms=mean_gap_ms,
+    )

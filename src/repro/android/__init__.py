@@ -1,0 +1,44 @@
+"""Simulated Android I/O stack (Fig. 1) with BIOtracer instrumentation."""
+
+from .apps import ARCHETYPES, AppModel, app_model
+from .biotracer import BIOTracer, BUFFER_BYTES, FLUSH_EXTRA_IOS, RECORDS_PER_BUFFER, TracerStats
+from .block_layer import BlockLayer, BlockLayerStats, MAX_REQUEST_BYTES
+from .emmc_driver import DriverStats, EmmcDriver, MAX_PACKED_BYTES
+from .ext4 import BLOCK_GROUP_BYTES, BlockIO, Ext4Layer, Ext4Stats
+from .fileops import AppOp, AppOpType, FileOp, FileOpType
+from .page_cache import PageCache, PageCacheStats
+from .sqlite import DB_PAGE, SQLiteLayer, SQLiteStats
+from .stack import AndroidStack, StackResult, collect_trace
+
+__all__ = [
+    "ARCHETYPES",
+    "AppModel",
+    "app_model",
+    "BIOTracer",
+    "BUFFER_BYTES",
+    "FLUSH_EXTRA_IOS",
+    "RECORDS_PER_BUFFER",
+    "TracerStats",
+    "BlockLayer",
+    "BlockLayerStats",
+    "MAX_REQUEST_BYTES",
+    "DriverStats",
+    "EmmcDriver",
+    "MAX_PACKED_BYTES",
+    "BLOCK_GROUP_BYTES",
+    "BlockIO",
+    "Ext4Layer",
+    "Ext4Stats",
+    "AppOp",
+    "AppOpType",
+    "FileOp",
+    "FileOpType",
+    "PageCache",
+    "PageCacheStats",
+    "DB_PAGE",
+    "SQLiteLayer",
+    "SQLiteStats",
+    "AndroidStack",
+    "StackResult",
+    "collect_trace",
+]

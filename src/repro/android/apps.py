@@ -1,0 +1,177 @@
+"""Application behaviour models (the 18 traced applications, Table I).
+
+Each application is reduced to an *archetype* -- a stochastic script of
+app-level I/O actions (database transactions/queries, media reads, cache
+writes) whose mix mirrors what the paper observed for that application
+class: messaging-style apps commit many tiny SQLite transactions, media
+playback streams large reads, CameraVideo appends megabytes per second,
+Installing writes a package and fsyncs, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.trace import KIB, MIB, US_PER_S
+
+from .fileops import AppOp, AppOpType
+
+Script = Callable[[float, np.random.Generator], List[AppOp]]
+
+
+def _poisson_times(duration_us: float, mean_gap_us: float, rng: np.random.Generator) -> List[float]:
+    times: List[float] = []
+    now = rng.exponential(mean_gap_us)
+    while now < duration_us:
+        times.append(now)
+        now += rng.exponential(mean_gap_us)
+    return times
+
+
+def messaging_script(duration_us: float, rng: np.random.Generator) -> List[AppOp]:
+    """Bursty small transactions: receive/compose/read messages."""
+    ops: List[AppOp] = []
+    for at in _poisson_times(duration_us, 8 * US_PER_S, rng):
+        # Each user action: a couple of queries plus 1-3 journaled commits.
+        for _ in range(int(rng.integers(1, 3))):
+            ops.append(AppOp(at, AppOpType.DB_QUERY, "msgstore.db",
+                             nbytes=int(rng.integers(1, 5)) * KIB))
+        for commit in range(int(rng.integers(1, 4))):
+            ops.append(AppOp(at + commit * 2_000, AppOpType.DB_TRANSACTION,
+                             "msgstore.db", nbytes=int(rng.integers(1, 3)) * KIB))
+    return ops
+
+
+def browsing_script(duration_us: float, rng: np.random.Generator) -> List[AppOp]:
+    """Page loads: cache-file writes, history commits, cache reads."""
+    ops: List[AppOp] = []
+    for at in _poisson_times(duration_us, 15 * US_PER_S, rng):
+        cache_file = f"cache/page{int(rng.integers(64))}"
+        ops.append(AppOp(at, AppOpType.FILE_WRITE, cache_file,
+                         nbytes=int(rng.integers(8, 200)) * KIB))
+        ops.append(AppOp(at + 5_000, AppOpType.DB_TRANSACTION, "history.db",
+                         nbytes=int(rng.integers(1, 4)) * KIB))
+        if rng.random() < 0.5:
+            ops.append(AppOp(at + 10_000, AppOpType.FILE_READ, cache_file,
+                             nbytes=int(rng.integers(8, 120)) * KIB, offset=0))
+        if rng.random() < 0.3:
+            ops.append(AppOp(at + 12_000, AppOpType.DB_QUERY, "cookies.db",
+                             nbytes=4 * KIB))
+    return ops
+
+
+def media_playback_script(duration_us: float, rng: np.random.Generator) -> List[AppOp]:
+    """Streaming reads of a local media file plus rare position commits."""
+    ops: List[AppOp] = []
+    offset = 0
+    now = rng.exponential(0.5 * US_PER_S)
+    while now < duration_us:
+        chunk = int(rng.integers(16, 129)) * 4 * KIB
+        ops.append(AppOp(now, AppOpType.FILE_READ, "media/movie.mp4",
+                         nbytes=chunk, offset=offset))
+        offset += chunk
+        now += rng.exponential(2 * US_PER_S)
+    for at in _poisson_times(duration_us, 30 * US_PER_S, rng):
+        ops.append(AppOp(at, AppOpType.DB_TRANSACTION, "player.db", nbytes=1 * KIB))
+    return ops
+
+
+def camera_script(duration_us: float, rng: np.random.Generator) -> List[AppOp]:
+    """Continuous large appends with periodic fsyncs (video recording)."""
+    ops: List[AppOp] = []
+    now = 0.0
+    while now < duration_us:
+        ops.append(AppOp(now, AppOpType.FILE_WRITE, "dcim/video.mp4",
+                         nbytes=int(rng.integers(256, 1025)) * 4 * KIB))
+        if rng.random() < 0.1:
+            ops.append(AppOp(now + 1_000, AppOpType.FSYNC, "dcim/video.mp4"))
+        now += rng.exponential(0.8 * US_PER_S)
+    ops.append(AppOp(max(0.0, duration_us - 1), AppOpType.DB_TRANSACTION,
+                     "media.db", nbytes=2 * KIB))
+    return ops
+
+
+def installer_script(duration_us: float, rng: np.random.Generator) -> List[AppOp]:
+    """Package download (large appends) plus many small state commits."""
+    ops: List[AppOp] = []
+    now = 0.0
+    while now < duration_us * 0.8:
+        ops.append(AppOp(now, AppOpType.FILE_WRITE, "download/app.apk",
+                         nbytes=int(rng.integers(64, 513)) * 4 * KIB))
+        if rng.random() < 0.4:
+            ops.append(AppOp(now + 2_000, AppOpType.DB_TRANSACTION, "packages.db",
+                             nbytes=int(rng.integers(1, 3)) * KIB))
+        now += rng.exponential(0.4 * US_PER_S)
+    ops.append(AppOp(duration_us * 0.85, AppOpType.FSYNC, "download/app.apk"))
+    return ops
+
+
+def game_script(duration_us: float, rng: np.random.Generator) -> List[AppOp]:
+    """Frequent small state/log commits, occasional asset reads."""
+    ops: List[AppOp] = []
+    for at in _poisson_times(duration_us, 2 * US_PER_S, rng):
+        ops.append(AppOp(at, AppOpType.DB_TRANSACTION, "savegame.db",
+                         nbytes=int(rng.integers(1, 6)) * KIB))
+        if rng.random() < 0.15:
+            ops.append(AppOp(at + 3_000, AppOpType.FILE_READ, "assets/levels.bin",
+                             nbytes=int(rng.integers(16, 128)) * 4 * KIB,
+                             offset=int(rng.integers(0, 512)) * 64 * KIB))
+    return ops
+
+
+def idle_script(duration_us: float, rng: np.random.Generator) -> List[AppOp]:
+    """Background services only: rare sync commits."""
+    ops: List[AppOp] = []
+    for at in _poisson_times(duration_us, 45 * US_PER_S, rng):
+        ops.append(AppOp(at, AppOpType.DB_TRANSACTION, "accounts.db",
+                         nbytes=int(rng.integers(1, 3)) * KIB))
+        if rng.random() < 0.2:
+            ops.append(AppOp(at + 4_000, AppOpType.DB_QUERY, "accounts.db",
+                             nbytes=4 * KIB))
+    return ops
+
+
+#: Archetype for each of the paper's 18 applications.
+ARCHETYPES: Dict[str, Script] = {
+    "Idle": idle_script,
+    "CallIn": idle_script,
+    "CallOut": idle_script,
+    "Booting": installer_script,  # heavy mixed I/O burst
+    "Movie": media_playback_script,
+    "Music": media_playback_script,
+    "AngryBrid": game_script,
+    "CameraVideo": camera_script,
+    "GoogleMaps": browsing_script,
+    "Messaging": messaging_script,
+    "Twitter": messaging_script,
+    "Email": messaging_script,
+    "Facebook": browsing_script,
+    "Amazon": browsing_script,
+    "YouTube": browsing_script,
+    "Radio": media_playback_script,
+    "Installing": installer_script,
+    "WebBrowsing": browsing_script,
+}
+
+
+@dataclass(frozen=True)
+class AppModel:
+    """A named application behaviour."""
+
+    name: str
+    script: Script
+
+    def ops(self, duration_us: float, rng: np.random.Generator) -> List[AppOp]:
+        """Generate the app's I/O actions over ``duration_us``, time-sorted."""
+        return sorted(self.script(duration_us, rng), key=lambda op: op.at_us)
+
+
+def app_model(name: str) -> AppModel:
+    """Model for one of the 18 applications (see :data:`ARCHETYPES`)."""
+    try:
+        return AppModel(name=name, script=ARCHETYPES[name])
+    except KeyError:
+        raise KeyError(f"no archetype for {name!r}; known: {', '.join(ARCHETYPES)}")

@@ -1,0 +1,67 @@
+"""Block layer: request queue with adjacent-request merging.
+
+Linux's block layer merges bios that are contiguous on disk into single
+requests, capped at 512 KB ("the largest allowed size for a request in
+Linux kernel", Section III-B).  We merge within each batch of block I/O
+that enters the queue at one instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.trace import KIB
+
+from .ext4 import BlockIO
+
+#: Linux's maximum merged request size.
+MAX_REQUEST_BYTES = 512 * KIB
+
+
+@dataclass
+class BlockLayerStats:
+    """Counters of bios in and merged requests out."""
+    bios_in: int = 0
+    requests_out: int = 0
+
+    @property
+    def merge_ratio(self) -> float:
+        """Average bios folded into one request."""
+        if self.requests_out == 0:
+            return 1.0
+        return self.bios_in / self.requests_out
+
+
+class BlockLayer:
+    """Merges a batch of bios into dispatchable requests."""
+
+    def __init__(self, max_request_bytes: int = MAX_REQUEST_BYTES) -> None:
+        if max_request_bytes <= 0:
+            raise ValueError("merge cap must be positive")
+        self._max_bytes = max_request_bytes
+        self.stats = BlockLayerStats()
+
+    def submit(self, bios: List[BlockIO]) -> List[BlockIO]:
+        """Merge contiguous same-op bios (sorted by lba) up to the cap."""
+        self.stats.bios_in += len(bios)
+        merged: List[BlockIO] = []
+        for bio in sorted(bios, key=lambda b: (b.op.value, b.lba, b.at_us)):
+            if merged:
+                last = merged[-1]
+                if (
+                    last.op is bio.op
+                    and last.lba + last.nbytes == bio.lba
+                    and last.nbytes + bio.nbytes <= self._max_bytes
+                ):
+                    merged[-1] = BlockIO(
+                        at_us=min(last.at_us, bio.at_us),
+                        op=last.op,
+                        lba=last.lba,
+                        nbytes=last.nbytes + bio.nbytes,
+                        sync=last.sync or bio.sync,
+                    )
+                    continue
+            merged.append(bio)
+        self.stats.requests_out += len(merged)
+        return merged

@@ -1,0 +1,167 @@
+"""A behavioural model of an ext4-like file system.
+
+Responsibilities modelled:
+
+* extent-based block allocation -- sequential file data gets contiguous
+  logical blocks, so streaming writes reach the block layer as large,
+  mergeable requests;
+* metadata (inode) updates -- small writes near the file's block group;
+* a JBD2-style journal -- synchronous operations commit a transaction:
+  descriptor block + journaled metadata blocks + commit block, written
+  sequentially into a dedicated journal region.
+
+The output is block-level I/O: (op, lba, nbytes) triples at a timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.trace import KIB, MIB, Op, SECTOR
+
+from .fileops import FileOp, FileOpType
+
+#: Size of one block group; files are allocated inside a group chosen by
+#: name hash, spreading unrelated files across the device.
+BLOCK_GROUP_BYTES = 128 * MIB
+
+
+@dataclass(frozen=True)
+class BlockIO:
+    """One block-level request produced by the file system."""
+
+    at_us: float
+    op: Op
+    lba: int
+    nbytes: int
+    sync: bool = False
+
+
+@dataclass
+class Ext4Stats:
+    """Counters of data, metadata and journal activity."""
+    data_bytes_written: int = 0
+    data_bytes_read: int = 0
+    metadata_writes: int = 0
+    journal_commits: int = 0
+    journal_bytes: int = 0
+
+
+@dataclass
+class _FileState:
+    """Allocation state of one file: list of extents (file_block, lba, blocks)."""
+
+    extents: List[Tuple[int, int, int]] = field(default_factory=list)
+    size_blocks: int = 0
+
+
+class Ext4Layer:
+    """Lowers file ops to block I/O with journaling."""
+
+    def __init__(self, device_bytes: int, journal_bytes: int = 32 * MIB) -> None:
+        if device_bytes < 4 * BLOCK_GROUP_BYTES:
+            raise ValueError("device too small for the ext4 model")
+        self._device_bytes = device_bytes
+        self._journal_start = device_bytes - journal_bytes
+        self._journal_bytes = journal_bytes
+        self._journal_head = 0
+        self._files: Dict[str, _FileState] = {}
+        self._group_cursor: Dict[int, int] = {}
+        self.stats = Ext4Stats()
+
+    # -- allocation -------------------------------------------------------------
+
+    def _group_of(self, path: str) -> int:
+        groups = (self._journal_start) // BLOCK_GROUP_BYTES
+        return hash(path) % max(1, groups)
+
+    def _allocate(self, path: str, file_block: int, blocks: int) -> List[Tuple[int, int]]:
+        """Extend ``path`` so ``file_block .. +blocks`` are mapped.
+
+        Returns (lba, blocks) runs for the requested range, allocating
+        contiguously from the file's block group cursor.
+        """
+        state = self._files.setdefault(path, _FileState())
+        group = self._group_of(path)
+        runs: List[Tuple[int, int]] = []
+        needed_end = file_block + blocks
+        while state.size_blocks < needed_end:
+            cursor = self._group_cursor.get(group, group * BLOCK_GROUP_BYTES)
+            grow = needed_end - state.size_blocks
+            lba = cursor
+            if lba + grow * SECTOR > self._journal_start:
+                # Wrap into the lowest group when the device-end is reached.
+                group = 0
+                cursor = self._group_cursor.get(group, 0)
+                lba = cursor
+            state.extents.append((state.size_blocks, lba, grow))
+            state.size_blocks += grow
+            self._group_cursor[group] = lba + grow * SECTOR
+        # Walk extents to resolve the requested range.
+        remaining = blocks
+        block = file_block
+        while remaining > 0:
+            for start, lba, length in state.extents:
+                if start <= block < start + length:
+                    span = min(remaining, start + length - block)
+                    runs.append((lba + (block - start) * SECTOR, span))
+                    block += span
+                    remaining -= span
+                    break
+            else:
+                raise RuntimeError(f"unmapped block {block} in {path}")
+        return runs
+
+    # -- lowering ------------------------------------------------------------------
+
+    def lower(self, op: FileOp) -> List[BlockIO]:
+        """Translate one file op into block-level I/O."""
+        if op.op_type is FileOpType.READ:
+            return self._read(op)
+        if op.op_type is FileOpType.WRITE:
+            return self._write(op)
+        if op.op_type is FileOpType.SYNC:
+            return self._commit(op.at_us)
+        raise ValueError(f"ext4 cannot lower {op.op_type}")
+
+    def _span(self, op: FileOp) -> Tuple[int, int]:
+        first_block = op.offset // SECTOR
+        last_block = (op.offset + op.nbytes + SECTOR - 1) // SECTOR
+        return first_block, last_block - first_block
+
+    def _read(self, op: FileOp) -> List[BlockIO]:
+        first_block, blocks = self._span(op)
+        runs = self._allocate(op.path, first_block, blocks)
+        self.stats.data_bytes_read += blocks * SECTOR
+        return [
+            BlockIO(op.at_us, Op.READ, lba, length * SECTOR) for lba, length in runs
+        ]
+
+    def _write(self, op: FileOp) -> List[BlockIO]:
+        first_block, blocks = self._span(op)
+        runs = self._allocate(op.path, first_block, blocks)
+        self.stats.data_bytes_written += blocks * SECTOR
+        ios = [
+            BlockIO(op.at_us, Op.WRITE, lba, length * SECTOR, sync=op.sync)
+            for lba, length in runs
+        ]
+        # Inode/bitmap update: one metadata block at the head of the group.
+        self.stats.metadata_writes += 1
+        meta_lba = self._group_of(op.path) * BLOCK_GROUP_BYTES
+        ios.append(BlockIO(op.at_us, Op.WRITE, meta_lba, SECTOR, sync=False))
+        if op.sync:
+            ios.extend(self._commit(op.at_us))
+        return ios
+
+    def _commit(self, at_us: float) -> List[BlockIO]:
+        """One JBD2 transaction: descriptor + 2 metadata blocks + commit."""
+        self.stats.journal_commits += 1
+        blocks = 4
+        nbytes = blocks * SECTOR
+        if self._journal_head + nbytes > self._journal_bytes:
+            self._journal_head = 0
+        lba = self._journal_start + self._journal_head
+        self._journal_head += nbytes
+        self.stats.journal_bytes += nbytes
+        return [BlockIO(at_us, Op.WRITE, lba, nbytes, sync=True)]

@@ -1,0 +1,66 @@
+"""File-level operations flowing between the Android stack's layers.
+
+Applications emit :class:`AppOp`s (database transactions, media reads,
+file appends); the SQLite layer lowers database ops to file ops; the file
+system lowers file ops to block I/O.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AppOpType(enum.Enum):
+    """What an application asks its libraries to do."""
+
+    DB_QUERY = "db-query"          # SELECT: page reads through SQLite
+    DB_TRANSACTION = "db-txn"      # INSERT/UPDATE: journaled page writes
+    FILE_READ = "file-read"        # media/content read
+    FILE_WRITE = "file-write"      # cache/download/append
+    FSYNC = "fsync"                # explicit durability point
+
+
+@dataclass(frozen=True)
+class AppOp:
+    """One application-level I/O action.
+
+    Attributes:
+        at_us: when the application issues the op.
+        op_type: action kind.
+        path: file identifier (database file, media file, cache file).
+        nbytes: payload size (ignored for FSYNC).
+        offset: file offset for reads/overwrites; ``None`` appends.
+    """
+
+    at_us: float
+    op_type: AppOpType
+    path: str
+    nbytes: int = 0
+    offset: int = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError("op time must be non-negative")
+        if self.op_type is not AppOpType.FSYNC and self.nbytes <= 0:
+            raise ValueError(f"{self.op_type} needs a positive size")
+
+
+class FileOpType(enum.Enum):
+    """What a library asks the file system to do."""
+
+    READ = "read"
+    WRITE = "write"
+    SYNC = "sync"
+
+
+@dataclass(frozen=True)
+class FileOp:
+    """One VFS-level operation against a named file."""
+
+    at_us: float
+    op_type: FileOpType
+    path: str
+    offset: int = 0
+    nbytes: int = 0
+    sync: bool = False  # write-through (O_SYNC / journal commit)

@@ -1,0 +1,172 @@
+"""Kernel page cache with write-back and read caching.
+
+Sits between the libraries (SQLite, direct file I/O) and the file system:
+
+* non-synchronous writes are buffered and flushed by a periodic write-back
+  timer (or when the dirty set grows too large), coalesced per file into
+  contiguous ranges -- this is where small app writes become the larger
+  mergeable requests the block layer sees;
+* reads of cached pages are absorbed; misses go to the file system.
+* synchronous writes (journal commits, fsync) bypass buffering: they are
+  flushed immediately together with any dirty pages of the same file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.trace import MIB, SECTOR
+
+from .fileops import FileOp, FileOpType
+
+
+@dataclass
+class PageCacheStats:
+    """Hit/miss/flush counters of the page cache."""
+    read_hits: int = 0
+    read_misses: int = 0
+    readahead_pages: int = 0
+    writes_buffered: int = 0
+    writes_sync: int = 0
+    writeback_flushes: int = 0
+
+
+class PageCache:
+    """File-level page cache (4 KB granularity)."""
+
+    def __init__(
+        self,
+        writeback_interval_us: float = 5_000_000.0,
+        dirty_limit_pages: int = 4096,
+        cache_limit_pages: int = 65536,
+        readahead_pages: int = 0,
+    ) -> None:
+        if readahead_pages < 0:
+            raise ValueError("readahead must be non-negative")
+        self._writeback_interval_us = writeback_interval_us
+        self._dirty_limit = dirty_limit_pages
+        self._cache_limit = cache_limit_pages
+        self._readahead_pages = readahead_pages
+        self._last_read_end: Dict[str, int] = {}
+        self._clean: Dict[str, Set[int]] = {}
+        self._dirty: Dict[str, Set[int]] = {}
+        self._dirty_count = 0
+        self._next_writeback_us = writeback_interval_us
+        self.stats = PageCacheStats()
+
+    # -- main entry ------------------------------------------------------------
+
+    def handle(self, op: FileOp) -> List[FileOp]:
+        """Process one file op; returns the file ops that reach the FS."""
+        out: List[FileOp] = []
+        if op.at_us >= self._next_writeback_us:
+            out.extend(self.writeback(op.at_us))
+            while self._next_writeback_us <= op.at_us:
+                self._next_writeback_us += self._writeback_interval_us
+        if op.op_type is FileOpType.READ:
+            out.extend(self._read(op))
+        elif op.op_type is FileOpType.WRITE:
+            out.extend(self._write(op))
+        elif op.op_type is FileOpType.SYNC:
+            out.extend(self._flush_file(op.path, op.at_us))
+            out.append(op)
+        if self._dirty_count > self._dirty_limit:
+            out.extend(self.writeback(op.at_us))
+        return out
+
+    # -- reads ---------------------------------------------------------------------
+
+    def _pages_of(self, op: FileOp) -> range:
+        first = op.offset // SECTOR
+        last = (op.offset + op.nbytes + SECTOR - 1) // SECTOR
+        return range(first, last)
+
+    def _read(self, op: FileOp) -> List[FileOp]:
+        cached = self._clean.setdefault(op.path, set())
+        dirty = self._dirty.get(op.path, set())
+        wanted = self._pages_of(op)
+        missing = [p for p in wanted if p not in cached and p not in dirty]
+        self.stats.read_hits += len(wanted) - len(missing)
+        self.stats.read_misses += len(missing)
+        # Sequential detection: a read continuing the previous one widens
+        # the fetch by the readahead window (Linux-style).
+        fetch = list(missing)
+        if (
+            self._readahead_pages
+            and missing
+            and self._last_read_end.get(op.path) == wanted[0]
+        ):
+            ahead_start = wanted[-1] + 1
+            fetch.extend(
+                p
+                for p in range(ahead_start, ahead_start + self._readahead_pages)
+                if p not in cached and p not in dirty
+            )
+            self.stats.readahead_pages += len(fetch) - len(missing)
+        self._last_read_end[op.path] = wanted[-1] + 1 if len(wanted) else 0
+        cached.update(fetch)
+        self._evict_clean_if_needed()
+        return [
+            FileOp(op.at_us, FileOpType.READ, op.path, offset=start * SECTOR,
+                   nbytes=length * SECTOR)
+            for start, length in _runs(fetch)
+        ]
+
+    def _evict_clean_if_needed(self) -> None:
+        total = sum(len(pages) for pages in self._clean.values())
+        if total <= self._cache_limit:
+            return
+        # Drop whole files' clean sets, largest first (coarse but cheap).
+        for path in sorted(self._clean, key=lambda p: -len(self._clean[p])):
+            total -= len(self._clean[path])
+            self._clean[path] = set()
+            if total <= self._cache_limit:
+                break
+
+    # -- writes ----------------------------------------------------------------------
+
+    def _write(self, op: FileOp) -> List[FileOp]:
+        if op.sync:
+            self.stats.writes_sync += 1
+            flushed = self._flush_file(op.path, op.at_us)
+            return flushed + [op]
+        pages = self._dirty.setdefault(op.path, set())
+        before = len(pages)
+        pages.update(self._pages_of(op))
+        self._dirty_count += len(pages) - before
+        self.stats.writes_buffered += 1
+        return []
+
+    def _flush_file(self, path: str, at_us: float) -> List[FileOp]:
+        pages = sorted(self._dirty.pop(path, set()))
+        if not pages:
+            return []
+        self._dirty_count -= len(pages)
+        self._clean.setdefault(path, set()).update(pages)
+        return [
+            FileOp(at_us, FileOpType.WRITE, path, offset=start * SECTOR,
+                   nbytes=length * SECTOR)
+            for start, length in _runs(pages)
+        ]
+
+    def writeback(self, at_us: float) -> List[FileOp]:
+        """Flush every dirty page (the periodic write-back daemon)."""
+        out: List[FileOp] = []
+        for path in list(self._dirty):
+            out.extend(self._flush_file(path, at_us))
+        if out:
+            self.stats.writeback_flushes += 1
+        return out
+
+
+def _runs(pages: List[int]) -> List[Tuple[int, int]]:
+    """Collapse sorted page indices into (start, length) runs."""
+    runs: List[Tuple[int, int]] = []
+    ordered = sorted(pages)
+    for page in ordered:
+        if runs and page == runs[-1][0] + runs[-1][1]:
+            runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+        else:
+            runs.append((page, 1))
+    return runs

@@ -1,0 +1,137 @@
+"""A behavioural model of SQLite's I/O (rollback-journal mode).
+
+The paper (and its closest related work, Lee & Won [10]) attributes the
+write-heavy, 4 KB-dominant block patterns of Android applications to
+SQLite: every transaction in rollback-journal mode
+
+1. writes the old content of each dirtied B-tree page to the journal,
+2. syncs the journal,
+3. writes the new page content to the database file,
+4. syncs the database, and
+5. truncates/deletes the journal (a small metadata write).
+
+One application-level transaction therefore multiplies into several small
+synchronous writes -- the "smart layers, dumb result" effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.trace import SECTOR
+
+from .fileops import AppOp, AppOpType, FileOp, FileOpType
+
+#: SQLite's default page size on Android (4 KB, matching the flash page).
+DB_PAGE = SECTOR
+
+
+@dataclass
+class SQLiteStats:
+    """Counters of transactions, queries and bytes written."""
+    transactions: int = 0
+    queries: int = 0
+    journal_bytes: int = 0
+    db_bytes: int = 0
+    syncs: int = 0
+
+    @property
+    def write_amplification(self) -> float:
+        """Bytes written per byte of user payload committed."""
+        if self.db_bytes == 0:
+            return 1.0
+        return (self.journal_bytes + self.db_bytes) / self.db_bytes
+
+
+class SQLiteLayer:
+    """Lowers database ops to journaled file ops."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._db_pages: Dict[str, int] = {}  # pages currently in each DB file
+        self.stats = SQLiteStats()
+
+    def _pages_for(self, nbytes: int) -> int:
+        return max(1, (nbytes + DB_PAGE - 1) // DB_PAGE)
+
+    def lower(self, op: AppOp) -> List[FileOp]:
+        """Translate one app-level database op into file ops."""
+        if op.op_type is AppOpType.DB_QUERY:
+            return self._query(op)
+        if op.op_type is AppOpType.DB_TRANSACTION:
+            return self._transaction(op)
+        raise ValueError(f"SQLite cannot lower {op.op_type}")
+
+    def _query(self, op: AppOp) -> List[FileOp]:
+        """A SELECT reads interior + leaf pages of the B-tree."""
+        self.stats.queries += 1
+        pages = self._pages_for(op.nbytes)
+        db_size = max(self._db_pages.get(op.path, 16), pages + 1)
+        ops: List[FileOp] = []
+        for _ in range(pages):
+            page_index = int(self._rng.integers(db_size))
+            ops.append(
+                FileOp(
+                    at_us=op.at_us,
+                    op_type=FileOpType.READ,
+                    path=op.path,
+                    offset=page_index * DB_PAGE,
+                    nbytes=DB_PAGE,
+                )
+            )
+        return ops
+
+    def _transaction(self, op: AppOp) -> List[FileOp]:
+        """An INSERT/UPDATE with rollback journaling."""
+        self.stats.transactions += 1
+        pages = self._pages_for(op.nbytes)
+        db_size = self._db_pages.get(op.path, 16)
+        journal_path = op.path + "-journal"
+        ops: List[FileOp] = []
+        # 1-2: journal the old page images (header + pages), synchronously.
+        journal_bytes = (pages + 1) * DB_PAGE
+        ops.append(
+            FileOp(
+                at_us=op.at_us,
+                op_type=FileOpType.WRITE,
+                path=journal_path,
+                offset=0,
+                nbytes=journal_bytes,
+                sync=True,
+            )
+        )
+        self.stats.journal_bytes += journal_bytes
+        self.stats.syncs += 1
+        # 3-4: write the new page contents, synchronously.  Updates hit
+        # existing pages; growth appends new ones.
+        for page in range(pages):
+            grows = self._rng.random() < 0.3 or db_size == 0
+            page_index = db_size + page if grows else int(self._rng.integers(db_size))
+            ops.append(
+                FileOp(
+                    at_us=op.at_us,
+                    op_type=FileOpType.WRITE,
+                    path=op.path,
+                    offset=page_index * DB_PAGE,
+                    nbytes=DB_PAGE,
+                    sync=True,
+                )
+            )
+        self.stats.db_bytes += pages * DB_PAGE
+        self.stats.syncs += 1
+        self._db_pages[op.path] = db_size + pages  # upper bound on growth
+        # 5: drop the journal -- a tiny synchronous metadata write.
+        ops.append(
+            FileOp(
+                at_us=op.at_us,
+                op_type=FileOpType.WRITE,
+                path=journal_path,
+                offset=0,
+                nbytes=DB_PAGE,
+                sync=True,
+            )
+        )
+        return ops

@@ -1,0 +1,176 @@
+"""The assembled Android I/O stack (Fig. 1 of the paper).
+
+Applications -> SQLite -> VFS page cache -> ext4 -> block layer -> eMMC
+driver (packing) -> eMMC device, with BIOtracer instrumenting the bottom
+of the stack.  Running an application model through the stack *collects* a
+block-level trace mechanistically -- the companion to the calibrated
+statistical generator in :mod:`repro.workloads` (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.trace import MIB, Request, Trace, US_PER_S
+from repro.emmc.device import EmmcDevice
+
+from .apps import AppModel, app_model
+from .biotracer import BIOTracer, TracerStats
+from .block_layer import BlockLayer
+from .emmc_driver import EmmcDriver
+from .ext4 import BlockIO, Ext4Layer
+from .fileops import AppOp, AppOpType, FileOp, FileOpType
+from .page_cache import PageCache
+from .sqlite import SQLiteLayer
+
+
+@dataclass
+class StackResult:
+    """Everything a stack run produces."""
+
+    trace: Trace
+    tracer_stats: TracerStats
+    sqlite_stats: object
+    ext4_stats: object
+    cache_stats: object
+    block_stats: object
+    driver_stats: object
+    device_stats: object
+
+    @property
+    def software_write_amplification(self) -> float:
+        """Device-level bytes written per app-payload byte (the [10] effect)."""
+        payload = self.sqlite_stats.db_bytes + self.ext4_stats.data_bytes_written
+        if payload == 0:
+            return 1.0
+        return max(1.0, self.device_stats.data_bytes_written / max(1, payload))
+
+
+class AndroidStack:
+    """Wires the layers of Fig. 1 on top of a simulated eMMC device."""
+
+    def __init__(self, device: EmmcDevice, name: str = "stack", seed: int = 0) -> None:
+        digest = hashlib.sha256(f"{name}:{seed}".encode()).digest()
+        self._rng = np.random.default_rng(int.from_bytes(digest[:8], "big"))
+        self.device = device
+        self.sqlite = SQLiteLayer(self._rng)
+        self.cache = PageCache()
+        self.ext4 = Ext4Layer(device_bytes=device.capacity_bytes)
+        self.block_layer = BlockLayer()
+        self.driver = EmmcDriver()
+        # Keep the monitor's log away from the block groups apps land in.
+        self.tracer = BIOTracer(name=name, log_lba=device.capacity_bytes // 2)
+        self._last_submit_us = 0.0
+
+    # -- public API ---------------------------------------------------------------
+
+    def run_app(self, app: "AppModel | str", duration_s: float) -> StackResult:
+        """Run an application model for ``duration_s`` and collect its trace."""
+        if isinstance(app, str):
+            app = app_model(app)
+        ops = app.ops(duration_s * US_PER_S, self._rng)
+        return self.run_ops(ops)
+
+    def run_concurrent(self, apps, duration_s: float) -> StackResult:
+        """Run several application models concurrently (Section III-D).
+
+        The apps share every layer -- page cache, file system, block queue,
+        device -- which is exactly the "limited shared resources" situation
+        the paper gives for combo traces showing higher rates than the sum
+        of their parts.
+        """
+        ops = []
+        for app in apps:
+            if isinstance(app, str):
+                app = app_model(app)
+            ops.extend(app.ops(duration_s * US_PER_S, self._rng))
+        return self.run_ops(ops)
+
+    def run_ops(self, ops: List[AppOp]) -> StackResult:
+        """Push app-level ops through every layer down to the device."""
+        for op in sorted(ops, key=lambda o: o.at_us):
+            self.handle_op(op)
+        return self._result()
+
+    def handle_op(self, op: AppOp) -> None:
+        """Push one app-level op through every layer to the device."""
+        file_ops = self._to_file_ops(op)
+        cache_out: List[FileOp] = []
+        for file_op in file_ops:
+            cache_out.extend(self.cache.handle(file_op))
+        bios: List[BlockIO] = []
+        for file_op in cache_out:
+            bios.extend(self.ext4.lower(file_op))
+        if not bios:
+            return
+        requests = self.driver.pack(self.block_layer.submit(bios))
+        self._dispatch(requests)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _to_file_ops(self, op: AppOp) -> List[FileOp]:
+        if op.op_type in (AppOpType.DB_QUERY, AppOpType.DB_TRANSACTION):
+            return self.sqlite.lower(op)
+        if op.op_type is AppOpType.FILE_READ:
+            return [FileOp(op.at_us, FileOpType.READ, op.path,
+                           offset=op.offset or 0, nbytes=op.nbytes)]
+        if op.op_type is AppOpType.FILE_WRITE:
+            offset = op.offset if op.offset is not None else self._append_offset(op.path)
+            return [FileOp(op.at_us, FileOpType.WRITE, op.path,
+                           offset=offset, nbytes=op.nbytes)]
+        if op.op_type is AppOpType.FSYNC:
+            return [FileOp(op.at_us, FileOpType.SYNC, op.path)]
+        raise ValueError(f"unhandled op type {op.op_type}")
+
+    def _append_offset(self, path: str) -> int:
+        state = self.ext4._files.get(path)
+        return 0 if state is None else state.size_blocks * 4096
+
+    def _dispatch(self, requests: List[BlockIO]) -> None:
+        """Send packed requests to the device; record them via BIOtracer."""
+        for bio in requests:
+            arrival = max(bio.at_us, self._last_submit_us)
+            self._last_submit_us = arrival
+            completed = self.device.submit(
+                Request(arrival_us=arrival, lba=bio.lba, size=bio.nbytes, op=bio.op)
+            )
+            flush_ios = self.tracer.record(completed)
+            if flush_ios:
+                for extra in flush_ios:
+                    arrival = max(extra.arrival_us, self._last_submit_us)
+                    self._last_submit_us = arrival
+                    self.device.submit(
+                        Request(arrival_us=arrival, lba=extra.lba,
+                                size=extra.size, op=extra.op)
+                    )
+
+    def _result(self) -> StackResult:
+        return StackResult(
+            trace=self.tracer.trace(),
+            tracer_stats=self.tracer.stats,
+            sqlite_stats=self.sqlite.stats,
+            ext4_stats=self.ext4.stats,
+            cache_stats=self.cache.stats,
+            block_stats=self.block_layer.stats,
+            driver_stats=self.driver.stats,
+            device_stats=self.device.stats,
+        )
+
+
+def collect_trace(
+    app_name: str,
+    duration_s: float,
+    device: Optional[EmmcDevice] = None,
+    seed: int = 0,
+) -> StackResult:
+    """Convenience: run one app on a fresh 4PS device and collect its trace."""
+    if device is None:
+        from repro.emmc.configs import four_ps
+
+        device = EmmcDevice(four_ps())
+    stack = AndroidStack(device, name=app_name, seed=seed)
+    return stack.run_app(app_name, duration_s)

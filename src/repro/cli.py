@@ -1,0 +1,169 @@
+"""repro-trace: generate, collect and inspect traces from the command line.
+
+Subcommands::
+
+    repro-trace list
+        Show the 25 applications and their published headline statistics.
+
+    repro-trace generate Twitter -o twitter.csv [--requests N] [--seed S]
+        Synthesize a calibrated trace and write it as CSV.
+
+    repro-trace collect Twitter -o twitter.csv [--requests N] [--seed S]
+        Collect a trace closed-loop on the reference device (timestamps
+        included, as BIOtracer would record them).
+
+    repro-trace stack Messaging -o trace.csv [--duration SECONDS]
+        Collect a trace mechanistically through the simulated Android
+        stack.
+
+    repro-trace convert blkparse.txt -o trace.csv
+        Convert Linux blkparse text output into the repro CSV format.
+
+    repro-trace stats trace.csv
+        Print the Table III / Table IV style statistics of a trace file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.trace import parse_blkparse, read_trace, write_trace
+from repro.analysis import render_table, size_stats, timing_stats
+from repro.workloads import ALL_TRACES, TABLE_III, TABLE_IV, collect, generate_trace
+
+
+def _cmd_list(_args) -> int:
+    from repro.workloads import TABLE_I
+
+    rows = [
+        [
+            name,
+            TABLE_III[name].num_requests,
+            TABLE_III[name].avg_size_kib,
+            TABLE_III[name].write_req_pct,
+            TABLE_IV[name].arrival_rate,
+            TABLE_IV[name].duration_s,
+            TABLE_I.get(name, "combo: " + name.replace("/", " + ")),
+        ]
+        for name in ALL_TRACES
+    ]
+    print(render_table(
+        ["App", "#Reqs", "Avg KiB", "Write %", "Req/s", "Duration s", "Definition"],
+        rows,
+        title="The 25 traces (published statistics)",
+    ))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    trace = generate_trace(args.app, seed=args.seed, num_requests=args.requests)
+    write_trace(trace, args.output)
+    print(f"wrote {len(trace)} requests to {args.output}")
+    return 0
+
+
+def _cmd_collect(args) -> int:
+    result = collect(args.app, seed=args.seed, num_requests=args.requests)
+    write_trace(result.trace, args.output)
+    print(
+        f"wrote {len(result.trace)} completed requests to {args.output} "
+        f"(no-wait {result.device_stats.no_wait_ratio * 100:.1f}%)"
+    )
+    return 0
+
+
+def _cmd_stack(args) -> int:
+    from repro.android import collect_trace as android_collect
+
+    result = android_collect(args.app, duration_s=args.duration, seed=args.seed)
+    write_trace(result.trace, args.output)
+    print(
+        f"wrote {len(result.trace)} requests to {args.output} "
+        f"(tracer overhead {result.tracer_stats.overhead_ratio * 100:.2f}%)"
+    )
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    trace = parse_blkparse(args.input)
+    write_trace(trace, args.output)
+    completed = sum(1 for r in trace if r.completed)
+    print(
+        f"converted {len(trace)} requests ({completed} with full timestamps) "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    trace = read_trace(args.trace)
+    sizes = size_stats(trace)
+    timing = timing_stats(trace)
+    rows = [
+        ["Requests", f"{sizes.num_requests:,}"],
+        ["Data size (KiB)", f"{sizes.data_size_kib:,.0f}"],
+        ["Avg / max size (KiB)", f"{sizes.avg_size_kib:.1f} / {sizes.max_size_kib:.0f}"],
+        ["Write requests %", f"{sizes.write_req_pct:.1f}"],
+        ["Write data %", f"{sizes.write_size_pct:.1f}"],
+        ["Duration (s)", f"{timing.duration_s:,.1f}"],
+        ["Arrival rate (req/s)", f"{timing.arrival_rate:.2f}"],
+        ["Access rate (KiB/s)", f"{timing.access_rate_kib_s:,.1f}"],
+        ["Spatial / temporal locality %",
+         f"{timing.spatial_locality_pct:.1f} / {timing.temporal_locality_pct:.1f}"],
+    ]
+    if trace.completed:
+        rows += [
+            ["No-wait %", f"{timing.nowait_pct:.1f}"],
+            ["Mean service / response (ms)",
+             f"{timing.mean_service_ms:.2f} / {timing.mean_response_ms:.2f}"],
+        ]
+    print(render_table(["Metric", "Value"], rows, title=f"Trace {trace.name!r}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro-trace argument parser."""
+    parser = argparse.ArgumentParser(prog="repro-trace", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the 25 applications").set_defaults(fn=_cmd_list)
+
+    for name, fn, help_text in (
+        ("generate", _cmd_generate, "synthesize a calibrated trace"),
+        ("collect", _cmd_collect, "collect closed-loop on the reference device"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("app", choices=ALL_TRACES, metavar="APP")
+        cmd.add_argument("-o", "--output", required=True)
+        cmd.add_argument("--requests", type=int, default=None)
+        cmd.add_argument("--seed", type=int, default=20150614)
+        cmd.set_defaults(fn=fn)
+
+    stack = sub.add_parser("stack", help="collect via the simulated Android stack")
+    stack.add_argument("app", metavar="APP")
+    stack.add_argument("-o", "--output", required=True)
+    stack.add_argument("--duration", type=float, default=300.0)
+    stack.add_argument("--seed", type=int, default=0)
+    stack.set_defaults(fn=_cmd_stack)
+
+    convert = sub.add_parser("convert", help="convert blkparse text to trace CSV")
+    convert.add_argument("input")
+    convert.add_argument("-o", "--output", required=True)
+    convert.set_defaults(fn=_cmd_convert)
+
+    stats = sub.add_parser("stats", help="print statistics of a trace CSV")
+    stats.add_argument("trace")
+    stats.set_defaults(fn=_cmd_stats)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Device configurations: Table V's three schemes plus test-scale variants.
+
+All three schemes share the geometry ``2 channels x 1 chip x 2 dies x
+2 planes`` with 1,024 pages per block and a 32 GB total capacity; they
+differ only in the per-plane block pools:
+
+====  =========================================
+4PS   1,024 blocks of 4 KB pages per plane
+8PS   512 blocks of 8 KB pages per plane
+HPS   512 4 KB-page blocks + 256 8 KB-page blocks per plane
+====  =========================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .device import DeviceConfig
+from .geometry import Geometry, PageKind
+from .latency import LatencyParams
+
+
+def four_ps(**overrides) -> DeviceConfig:
+    """The pure-4KB-page baseline (conventional eMMC structure)."""
+    config = DeviceConfig(
+        name="4PS",
+        geometry=Geometry(blocks_per_plane={PageKind.K4: 1024}),
+        latency=LatencyParams(),
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def eight_ps(**overrides) -> DeviceConfig:
+    """The pure-8KB-page baseline (existing large-page architecture)."""
+    config = DeviceConfig(
+        name="8PS",
+        geometry=Geometry(blocks_per_plane={PageKind.K8: 512}),
+        latency=LatencyParams(),
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def hps(**overrides) -> DeviceConfig:
+    """The hybrid-page-size scheme proposed by the paper (Fig. 10)."""
+    config = DeviceConfig(
+        name="HPS",
+        geometry=Geometry(blocks_per_plane={PageKind.K4: 512, PageKind.K8: 256}),
+        latency=LatencyParams(),
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def table_v_configs() -> Dict[str, DeviceConfig]:
+    """The three schemes, keyed by their paper names."""
+    return {"4PS": four_ps(), "8PS": eight_ps(), "HPS": hps()}
+
+
+def hps_slc(**overrides) -> DeviceConfig:
+    """HPS with its 4 KB blocks run in SLC mode (Implication 5 extension).
+
+    Same die structure as :func:`hps`, but the 512 small-page blocks per
+    plane operate as SLC: small requests get SLC-class latency at the cost
+    of those blocks exposing half their pages -- the total capacity drops
+    from 32 GB to 24 GB, the "performance gain ... at the cost of 50 %
+    capacity loss" trade the paper describes for the SLC portion.
+    """
+    config = DeviceConfig(
+        name="HPS-SLC",
+        geometry=Geometry(blocks_per_plane={PageKind.K4_SLC: 512, PageKind.K8: 256}),
+        latency=LatencyParams(),
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+# -- scaled-down variants for fast tests and stress scenarios -------------------
+
+
+def _small_geometry(blocks: Dict[PageKind, int], pages_per_block: int = 64) -> Geometry:
+    return Geometry(
+        channels=2,
+        chips_per_channel=1,
+        dies_per_chip=1,
+        planes_per_die=2,
+        blocks_per_plane=blocks,
+        pages_per_block=pages_per_block,
+    )
+
+
+def small_four_ps(**overrides) -> DeviceConfig:
+    """A tiny 4PS device (4 planes x 32 blocks x 64 pages x 4 KB = 32 MB)."""
+    config = DeviceConfig(
+        name="small-4PS", geometry=_small_geometry({PageKind.K4: 32})
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def small_eight_ps(**overrides) -> DeviceConfig:
+    """A tiny 8PS device with the same capacity as :func:`small_four_ps`."""
+    config = DeviceConfig(
+        name="small-8PS", geometry=_small_geometry({PageKind.K8: 16})
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def small_hps(**overrides) -> DeviceConfig:
+    """A tiny HPS device with the same capacity as :func:`small_four_ps`."""
+    config = DeviceConfig(
+        name="small-HPS",
+        geometry=_small_geometry({PageKind.K4: 16, PageKind.K8: 8}),
+    )
+    return config.with_overrides(**overrides) if overrides else config

@@ -1,0 +1,384 @@
+"""The simulated eMMC device: timing engine and trace replay.
+
+The device serves one host request at a time (eMMC's single command queue;
+the paper's high NoWait ratios show real workloads rarely need more), but
+executes each request's flash operations with full internal parallelism:
+channels transfer concurrently, and every plane can read/program
+independently while its channel is free.  Garbage collection triggered by a
+write extends that write's service time (foreground GC); with ``idle_gc``
+enabled, collections run during long inter-arrival gaps instead
+(Implication 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.trace import Request, SECTOR, Trace
+
+from .cache import RamBuffer
+from .distributor import RequestDistributor
+from .ftl import Ftl, GreedyGC, StaticWearLeveler, VictimPolicy
+from .geometry import Geometry, PageKind
+from .latency import LatencyParams
+from .ops import FlashOp, FlashOpType, WriteGroup
+from .power import PowerModel
+from .stats import DeviceStats
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Everything needed to build an :class:`EmmcDevice`."""
+
+    name: str
+    geometry: Geometry
+    latency: LatencyParams = field(default_factory=LatencyParams)
+    gc_threshold_blocks: int = 2
+    idle_gc: bool = False
+    idle_gc_min_gap_us: float = 200_000.0
+    idle_gc_soft_threshold: int = 8
+    ram_buffer_bytes: int = 0
+    preload_kind: Optional[PageKind] = None
+    #: Multi-plane advanced commands: when True every plane is an
+    #: independent read/program unit; when False (the default, matching
+    #: Implication 1's "cannot be processed in a complete parallel
+    #: manner") the die is the busy unit.
+    multi_plane: bool = False
+    #: Outstanding requests the host interface admits.  eMMC has a single
+    #: command queue (depth 1); higher depths model the "parallel request
+    #: queues at OS layer" idea that Implication 1 argues does not help.
+    queue_depth: int = 1
+    #: GC victim policy ("greedy" default, "fifo", "random").
+    gc_policy: str = "greedy"
+    #: Copy-back programming for GC migrations: valid pages move inside
+    #: the plane without crossing the channel (an advanced command real
+    #: eMMC parts support; off by default like the other advanced
+    #: commands).
+    gc_copyback: bool = False
+    #: Static wear-leveling spread threshold; None disables it (the
+    #: paper's Implication 4 default: dynamic-only is sufficient).
+    static_wl_threshold: Optional[int] = None
+    #: Address mapping scheme: "page" (default) or "hybrid-log" (a
+    #: BAST-style block-mapped FTL with log blocks; 4K-only geometries).
+    mapping_scheme: str = "page"
+    #: Log-block pool size for the hybrid-log scheme.
+    log_blocks: int = 8
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
+
+    def with_overrides(self, **changes) -> "DeviceConfig":
+        """Copy with some fields replaced (ablation helper)."""
+        return replace(self, **changes)
+
+
+@dataclass
+class ReplayResult:
+    """A completed replay: the trace with device timestamps plus counters."""
+
+    trace: Trace
+    stats: DeviceStats
+    config_name: str
+
+
+class EmmcDevice:
+    """Event-driven eMMC model (a light-weight SSD, per the paper)."""
+
+    def __init__(self, config: DeviceConfig) -> None:
+        self.config = config
+        self.geometry = config.geometry
+        self.latency = config.latency
+        for kind in self.geometry.kinds():
+            self.latency.timing(kind)  # fail fast on missing latencies
+        if config.mapping_scheme == "page":
+            self.ftl = Ftl(
+                self.geometry,
+                gc=GreedyGC(
+                    config.gc_threshold_blocks, policy=VictimPolicy(config.gc_policy)
+                ),
+                preload_kind=config.preload_kind,
+                wear_leveler=(
+                    StaticWearLeveler(config.static_wl_threshold)
+                    if config.static_wl_threshold is not None
+                    else None
+                ),
+            )
+        elif config.mapping_scheme == "hybrid-log":
+            from .ftl.block_mapped import BlockMappedFtl
+
+            self.ftl = BlockMappedFtl(self.geometry, log_blocks=config.log_blocks)
+        else:
+            raise ValueError(f"unknown mapping scheme {config.mapping_scheme!r}")
+        self.distributor = RequestDistributor(self.geometry.kinds())
+        self.power = PowerModel(
+            power_threshold_us=config.latency.power_threshold_us,
+            warmup_us=config.latency.warmup_us,
+        )
+        self.buffer: Optional[RamBuffer] = (
+            RamBuffer(config.ram_buffer_bytes) if config.ram_buffer_bytes else None
+        )
+        self.stats = DeviceStats()
+        self._channel_avail = [0.0] * self.geometry.channels
+        units = (
+            self.geometry.num_planes if config.multi_plane else self.geometry.num_dies
+        )
+        self._unit_avail = [0.0] * units
+        self._controller_avail = 0.0
+        self._last_finish = 0.0
+        # Finish times of requests currently outstanding (queue_depth > 1).
+        self._outstanding: List[float] = []
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Raw device capacity in bytes."""
+        return self.geometry.capacity_bytes()
+
+    def describe(self) -> str:
+        """One-paragraph status snapshot (geometry, activity, health)."""
+        from .ftl.wear_leveling import collect_wear
+
+        geometry = self.geometry
+        lines = [
+            f"{self.config.name}: {geometry.channels}ch x "
+            f"{geometry.chips_per_channel}chip x {geometry.dies_per_chip}die x "
+            f"{geometry.planes_per_die}plane, "
+            f"{self.capacity_bytes // 2**30} GiB "
+            f"({', '.join(f'{geometry.blocks_per_plane[k]}x{k}' for k in geometry.kinds())} "
+            f"blocks/plane)",
+            f"  served {self.stats.requests} requests "
+            f"(MRT {self.stats.mean_response_ms:.2f} ms, "
+            f"no-wait {self.stats.no_wait_ratio * 100:.1f}%)",
+            f"  wrote {self.stats.data_bytes_written // 1024} KiB host data, "
+            f"space utilization {self.stats.space_utilization:.3f}, "
+            f"{self.stats.erases} erases, "
+            f"{self.stats.gc_collections} foreground GC",
+        ]
+        planes = getattr(self.ftl, "planes", None)
+        if planes is not None:
+            wear = collect_wear(planes)
+            lines.append(
+                f"  wear: mean {wear.mean_erase:.2f} cycles/block, "
+                f"spread {wear.spread}"
+            )
+        return "\n".join(lines)
+
+    # -- replay -----------------------------------------------------------------
+
+    def replay(self, trace: Trace) -> ReplayResult:
+        """Serve every request of ``trace`` in arrival order.
+
+        Returns the same trace with service-start and finish timestamps
+        filled in, plus the device statistics -- the paper's replay
+        methodology for Figs. 8 and 9.
+        """
+        completed = [self.submit(request) for request in trace]
+        return ReplayResult(
+            trace=trace.with_requests(completed),
+            stats=self.stats,
+            config_name=self.config.name,
+        )
+
+    def submit(self, request: Request) -> Request:
+        """Serve one request; returns it with device timestamps attached.
+
+        Requests must be submitted in non-decreasing arrival order.
+        """
+        arrival = request.arrival_us
+        dispatch = self._admit(arrival)
+        self._maybe_idle_gc(dispatch)
+        self._account_idle(dispatch)
+        start = dispatch + self.power.wakeup_penalty(dispatch)
+        ops, absorbed = self._expand(request)
+        finish = self._schedule(ops, start) if ops else start + self._absorbed_latency(absorbed)
+        self._account(request, dispatch, finish, ops)
+        self._last_finish = max(self._last_finish, finish)
+        if self.config.queue_depth > 1:
+            self._outstanding.append(finish)
+        self.power.record_activity_end(finish)
+        self.stats.wakeups = self.power.wakeups
+        return request.with_timing(service_start_us=dispatch, finish_us=finish)
+
+    def _admit(self, arrival: float) -> float:
+        """When the request may be dispatched, honouring the queue depth."""
+        if self.config.queue_depth == 1:
+            return max(arrival, self._last_finish)
+        # Drop completed entries, then wait for a slot if all are busy.
+        self._outstanding = [f for f in self._outstanding if f > arrival]
+        if len(self._outstanding) < self.config.queue_depth:
+            return arrival
+        self._outstanding.sort()
+        slot_free = self._outstanding.pop(0)
+        return max(arrival, slot_free)
+
+    def _account_idle(self, dispatch: float) -> None:
+        """Split the idle gap before this dispatch into power states."""
+        gap = dispatch - self.power.last_activity_end_us
+        if gap <= 0:
+            return
+        threshold = self.latency.power_threshold_us
+        if gap > threshold:
+            self.stats.active_idle_us += threshold
+            self.stats.low_power_us += gap - threshold
+        else:
+            self.stats.active_idle_us += gap
+
+    def _absorbed_latency(self, absorbed: bool) -> float:
+        if absorbed and self.buffer is not None:
+            return self.buffer.hit_latency_us
+        return self.latency.command_overhead_us
+
+    # -- request expansion --------------------------------------------------------
+
+    def _expand(self, request: Request):
+        """Turn a host request into flash ops (possibly via the RAM buffer)."""
+        ops: List[FlashOp] = []
+        absorbed = False
+        if request.is_write:
+            lpns = self.distributor.lpns_of(request)
+            if self.buffer is not None:
+                evicted = self.buffer.write(lpns)
+                if evicted:
+                    ops.extend(self._write_lpns(evicted))
+                absorbed = not ops
+                self.stats.data_bytes_written += request.size
+            else:
+                outcome = self.ftl.write(self.distributor.split_write(request))
+                ops.extend(outcome.ops)
+                self.stats.data_bytes_written += outcome.data_bytes
+                self.stats.flash_bytes_consumed += outcome.flash_bytes
+                self.stats.gc_collections += len(outcome.gc_results)
+                self.stats.gc_migrated_slots += sum(
+                    result.migrated_slots for result in outcome.gc_results
+                )
+        else:
+            lpns = self.distributor.lpns_of(request)
+            if self.buffer is not None:
+                lpns = self.buffer.read(lpns)
+                self.stats.cache_read_hits = self.buffer.stats.read_hits
+                self.stats.cache_read_misses = self.buffer.stats.read_misses
+                absorbed = not lpns
+            if lpns:
+                outcome = self.ftl.read(lpns)
+                ops.extend(outcome.ops)
+                self.stats.preloaded_pages += outcome.preloaded_pages
+            self.stats.data_bytes_read += request.size
+        return ops, absorbed
+
+    def _write_lpns(self, lpns: List[int]) -> List[FlashOp]:
+        """Flush buffered pages: pack into write groups like a host write."""
+        groups: List[WriteGroup] = []
+        large = self.distributor.largest
+        index = 0
+        while index + large.slots <= len(lpns):
+            groups.append(WriteGroup(large, tuple(lpns[index : index + large.slots])))
+            index += large.slots
+        remainder = lpns[index:]
+        if remainder:
+            if self.distributor.hybrid or large.slots == 1:
+                small = self.distributor.smallest
+                groups.extend(WriteGroup(small, (lpn,)) for lpn in remainder)
+            else:
+                padded = tuple(remainder) + (None,) * (large.slots - len(remainder))
+                groups.append(WriteGroup(large, padded))
+        outcome = self.ftl.write(groups)
+        self.stats.flash_bytes_consumed += outcome.flash_bytes
+        self.stats.gc_collections += len(outcome.gc_results)
+        return outcome.ops
+
+    # -- timing engine --------------------------------------------------------------
+
+    def _schedule(self, ops: List[FlashOp], start: float) -> float:
+        """Execute ops against the channel/plane timelines; returns makespan end."""
+        finish = start
+        for op in ops:
+            channel = self.geometry.channel_of(op.plane)
+            die = op.plane if self.config.multi_plane else self.geometry.die_of(op.plane)
+            timing = self.latency.timing(op.kind)
+            # Controller processing (mapping lookup, command issue) is a
+            # single serialized resource -- the structural reason per-op
+            # counts matter as much as bytes on eMMC-class hardware.
+            issue = max(self._controller_avail, start) + self.latency.ftl_overhead_us
+            self._controller_avail = issue
+            copyback = self.config.gc_copyback and op.gc
+            if op.op_type is FlashOpType.READ:
+                die_start = max(self._unit_avail[die], issue)
+                die_end = die_start + timing.read_us
+                if copyback:
+                    # Data stays in the plane's page register.
+                    self._unit_avail[die] = die_end
+                    op_finish = die_end
+                else:
+                    transfer_start = max(self._channel_avail[channel], die_end)
+                    transfer_end = transfer_start + self.latency.transfer_us(op.payload_bytes)
+                    self._unit_avail[die] = die_end
+                    self._channel_avail[channel] = transfer_end
+                    op_finish = transfer_end
+                    self.stats.busy_transfer_us += transfer_end - transfer_start
+                self.stats.busy_read_us += timing.read_us
+                self.stats.record_op_counts(op.kind, reads=1)
+            elif op.op_type is FlashOpType.PROGRAM:
+                if copyback:
+                    die_start = max(self._unit_avail[die], issue)
+                    die_end = die_start + timing.program_us
+                    self._unit_avail[die] = die_end
+                    op_finish = die_end
+                else:
+                    transfer_start = max(self._channel_avail[channel], issue)
+                    transfer_end = transfer_start + self.latency.transfer_us(op.payload_bytes)
+                    die_start = max(self._unit_avail[die], transfer_end)
+                    die_end = die_start + timing.program_us
+                    self._channel_avail[channel] = transfer_end
+                    self._unit_avail[die] = die_end
+                    op_finish = die_end
+                    self.stats.busy_transfer_us += transfer_end - transfer_start
+                self.stats.busy_program_us += timing.program_us
+                self.stats.record_op_counts(op.kind, programs=1)
+            else:  # ERASE
+                die_start = max(self._unit_avail[die], issue)
+                die_end = die_start + self.latency.erase_us
+                self._unit_avail[die] = die_end
+                op_finish = die_end
+                self.stats.erases += 1
+                self.stats.busy_erase_us += self.latency.erase_us
+            finish = max(finish, op_finish)
+        return finish
+
+    # -- idle-time GC (Implication 2) -----------------------------------------------
+
+    def _maybe_idle_gc(self, dispatch: float) -> None:
+        if not self.config.idle_gc:
+            return
+        gap = dispatch - self.power.last_activity_end_us
+        if gap < self.config.idle_gc_min_gap_us:
+            return
+        results = self.ftl.idle_collect(self.config.idle_gc_soft_threshold)
+        if results:
+            self.stats.idle_gc_collections += len(results)
+            self.stats.erases += len(results)
+            for result in results:
+                for op in result.ops:
+                    if op.op_type is FlashOpType.READ:
+                        self.stats.record_op_counts(op.kind, reads=1)
+                    elif op.op_type is FlashOpType.PROGRAM:
+                        self.stats.record_op_counts(op.kind, programs=1)
+
+    # -- accounting --------------------------------------------------------------------
+
+    def _account(
+        self, request: Request, dispatch: float, finish: float, ops: List[FlashOp]
+    ) -> None:
+        stats = self.stats
+        stats.requests += 1
+        wait = dispatch - request.arrival_us
+        stats.wait_us.append(wait)
+        stats.service_us.append(finish - dispatch)
+        stats.response_us.append(finish - request.arrival_us)
+        if wait <= 1e-9:
+            stats.no_wait_requests += 1
+
+
+def build_device(config: DeviceConfig) -> EmmcDevice:
+    """Construct a fresh (brand-new, fully erased) device."""
+    return EmmcDevice(config)

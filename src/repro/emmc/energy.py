@@ -1,0 +1,94 @@
+"""Energy accounting for the device model (Characteristic 4's other half).
+
+The paper's power observations are qualitative: the device drops into a
+low-power mode after an idle threshold, and waking up costs latency.  This
+module adds the energy side so the threshold trade-off can be studied: a
+short threshold saves idle energy but wakes (and stalls) often; a long one
+keeps the device hot.
+
+Power draw is modelled per activity with typical eMMC-class magnitudes
+(order-of-magnitude realistic; all knobs are configurable):
+
+* flash array busy: read / program / erase rails,
+* channel transfers,
+* active idle (controller awake, nothing in flight),
+* low-power mode (retention only),
+* a fixed energy cost per wake-up (voltage ramp, re-init).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .stats import DeviceStats
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Power rails in milliwatts and per-event costs in microjoules."""
+
+    read_mw: float = 30.0
+    program_mw: float = 60.0
+    erase_mw: float = 45.0
+    transfer_mw: float = 20.0
+    active_idle_mw: float = 25.0
+    low_power_mw: float = 0.5
+    wakeup_uj: float = 50.0
+
+    def __post_init__(self) -> None:
+        for value in (self.read_mw, self.program_mw, self.erase_mw,
+                      self.transfer_mw, self.active_idle_mw,
+                      self.low_power_mw, self.wakeup_uj):
+            if value < 0:
+                raise ValueError("energy parameters must be non-negative")
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one replay, microjoules."""
+
+    read_uj: float
+    program_uj: float
+    erase_uj: float
+    transfer_uj: float
+    active_idle_uj: float
+    low_power_uj: float
+    wakeup_uj: float
+
+    @property
+    def total_uj(self) -> float:
+        """Total energy, microjoules."""
+        return (
+            self.read_uj + self.program_uj + self.erase_uj + self.transfer_uj
+            + self.active_idle_uj + self.low_power_uj + self.wakeup_uj
+        )
+
+    @property
+    def total_mj(self) -> float:
+        """Total energy, millijoules."""
+        return self.total_uj / 1000.0
+
+    @property
+    def idle_share(self) -> float:
+        """Fraction of total energy spent while no request was in flight."""
+        if self.total_uj == 0:
+            return 0.0
+        return (self.active_idle_uj + self.low_power_uj) / self.total_uj
+
+
+def _mw_us_to_uj(milliwatts: float, microseconds: float) -> float:
+    # 1 mW * 1 us = 1 nJ = 1e-3 uJ.
+    return milliwatts * microseconds / 1000.0
+
+
+def energy_report(stats: DeviceStats, params: EnergyParams = EnergyParams()) -> EnergyReport:
+    """Compute the energy breakdown from a replay's busy-time counters."""
+    return EnergyReport(
+        read_uj=_mw_us_to_uj(params.read_mw, stats.busy_read_us),
+        program_uj=_mw_us_to_uj(params.program_mw, stats.busy_program_us),
+        erase_uj=_mw_us_to_uj(params.erase_mw, stats.busy_erase_us),
+        transfer_uj=_mw_us_to_uj(params.transfer_mw, stats.busy_transfer_us),
+        active_idle_uj=_mw_us_to_uj(params.active_idle_mw, stats.active_idle_us),
+        low_power_uj=_mw_us_to_uj(params.low_power_mw, stats.low_power_us),
+        wakeup_uj=params.wakeup_uj * stats.wakeups,
+    )

@@ -1,0 +1,27 @@
+"""Flash translation layer: mapping, allocation, GC, wear-leveling."""
+
+from .allocator import PageAllocator
+from .blocks import Block, OutOfSpaceError, Plane
+from .core import Ftl, ReadOutcome, WriteOutcome
+from .gc import GcResult, GreedyGC, VictimPolicy
+from .mapping import PageMapping, PhysicalLocation, PRELOADED_BLOCK
+from .wear_leveling import StaticWearLeveler, WearStats, collect_wear
+
+__all__ = [
+    "PageAllocator",
+    "Block",
+    "OutOfSpaceError",
+    "Plane",
+    "Ftl",
+    "ReadOutcome",
+    "WriteOutcome",
+    "GcResult",
+    "GreedyGC",
+    "VictimPolicy",
+    "PageMapping",
+    "PhysicalLocation",
+    "PRELOADED_BLOCK",
+    "StaticWearLeveler",
+    "WearStats",
+    "collect_wear",
+]

@@ -1,0 +1,56 @@
+"""Physical page allocation: dynamic, channel-first round-robin striping.
+
+Write groups are spread over planes in flat-index order, which alternates
+channels first (see :meth:`repro.emmc.geometry.Geometry.channel_of`), so a
+multi-page request exploits all channels, then all dies/planes -- SSDsim's
+dynamic allocation scheme that the paper's Table V geometry relies on for
+"internal parallelism [having the] same effects" across the three schemes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..geometry import Geometry, PageKind
+from .blocks import Block, Plane
+
+
+class PageAllocator:
+    """Hands out (plane, block, page) targets for write groups."""
+
+    def __init__(self, geometry: Geometry, planes: List[Plane]) -> None:
+        if len(planes) != geometry.num_planes:
+            raise ValueError("plane list does not match geometry")
+        self._geometry = geometry
+        self._planes = planes
+        self._cursor = 0
+
+    @property
+    def planes(self) -> List[Plane]:
+        """The planes this allocator serves."""
+        return self._planes
+
+    def next_plane(self) -> Plane:
+        """Round-robin plane choice for the next write group."""
+        plane = self._planes[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self._planes)
+        return plane
+
+    def allocate(self, plane: Plane, kind: PageKind) -> Tuple[Block, int]:
+        """Reserve the next page of ``plane``'s active ``kind`` block.
+
+        Opens a new active block (lowest erase count first) when needed.
+        Raises :class:`~repro.emmc.ftl.blocks.OutOfSpaceError` when the
+        plane has no free block left -- callers run garbage collection and
+        retry.
+
+        The page is only *reserved* here; the caller programs it via
+        :meth:`Block.program` so slot contents and mapping stay in one
+        place.
+        """
+        active_id = plane.active_block[kind]
+        block = None if active_id is None else plane.block(kind, active_id)
+        if block is None or block.is_full:
+            block = plane.take_free_block(kind)
+            plane.active_block[kind] = block.block_id
+        return block, block.write_ptr

@@ -1,0 +1,157 @@
+"""Flash block and plane state for the page-mapping FTL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..geometry import Geometry, PageKind
+
+
+class OutOfSpaceError(RuntimeError):
+    """A plane ran out of reclaimable space (nothing left for GC to free)."""
+
+
+@dataclass
+class Block:
+    """One erase block: fixed page kind, append-only write pointer.
+
+    Each physical page holds ``kind.slots`` 4 KB logical sub-pages; a slot
+    stores the logical page number (LPN) it holds, or ``None`` when the slot
+    is invalid (stale data) or padding (never valid).
+    """
+
+    block_id: int
+    kind: PageKind
+    pages_per_block: int
+    erase_count: int = 0
+    write_ptr: int = 0
+    valid_count: int = 0
+    slots: List[Tuple[Optional[int], ...]] = field(default_factory=list)
+
+    @property
+    def is_full(self) -> bool:
+        """True when every page has been programmed."""
+        return self.write_ptr >= self.pages_per_block
+
+    @property
+    def free_pages(self) -> int:
+        """Pages still programmable in this block."""
+        return self.pages_per_block - self.write_ptr
+
+    @property
+    def invalid_count(self) -> int:
+        """Slots that were programmed but no longer hold valid data."""
+        return self.write_ptr * self.kind.slots - self.valid_count
+
+    def program(self, lpns: Tuple[Optional[int], ...]) -> int:
+        """Program the next page with the given slot contents.
+
+        ``lpns`` must have exactly ``kind.slots`` entries; ``None`` entries
+        are padding.  Returns the programmed page index.
+        """
+        if self.is_full:
+            raise RuntimeError(f"block {self.block_id} is full")
+        if len(lpns) != self.kind.slots:
+            raise ValueError(f"expected {self.kind.slots} slots, got {len(lpns)}")
+        page = self.write_ptr
+        self.slots.append(tuple(lpns))
+        self.valid_count += sum(1 for lpn in lpns if lpn is not None)
+        self.write_ptr += 1
+        return page
+
+    def invalidate(self, page: int, slot: int) -> None:
+        """Mark one slot stale (its LPN was overwritten or trimmed)."""
+        current = self.slots[page]
+        if current[slot] is None:
+            raise RuntimeError(
+                f"slot {slot} of page {page} in block {self.block_id} already invalid"
+            )
+        updated = list(current)
+        updated[slot] = None
+        self.slots[page] = tuple(updated)
+        self.valid_count -= 1
+
+    def valid_entries(self) -> List[Tuple[int, int, int]]:
+        """All valid (page, slot, lpn) triples, in program order."""
+        return [
+            (page, slot, lpn)
+            for page, slots in enumerate(self.slots)
+            for slot, lpn in enumerate(slots)
+            if lpn is not None
+        ]
+
+    def erase(self) -> None:
+        """Erase the block (must hold no valid data); bumps the cycle count."""
+        if self.valid_count:
+            raise RuntimeError(
+                f"erasing block {self.block_id} with {self.valid_count} valid slots"
+            )
+        self.slots.clear()
+        self.write_ptr = 0
+        self.erase_count += 1
+
+
+@dataclass
+class Plane:
+    """One plane: per-kind block pools, free lists and active blocks."""
+
+    plane_id: int
+    blocks: Dict[PageKind, List[Block]] = field(default_factory=dict)
+    free_blocks: Dict[PageKind, List[int]] = field(default_factory=dict)
+    active_block: Dict[PageKind, Optional[int]] = field(default_factory=dict)
+
+    @classmethod
+    def create(cls, plane_id: int, geometry: Geometry) -> "Plane":
+        """Build a plane with full free pools per the geometry."""
+        plane = cls(plane_id=plane_id)
+        for kind in geometry.kinds():
+            count = geometry.blocks_per_plane[kind]
+            pages = geometry.pages_for(kind)
+            plane.blocks[kind] = [
+                Block(block_id=index, kind=kind, pages_per_block=pages)
+                for index in range(count)
+            ]
+            plane.free_blocks[kind] = list(range(count))
+            plane.active_block[kind] = None
+        return plane
+
+    def block(self, kind: PageKind, block_id: int) -> Block:
+        """The block of ``kind`` with id ``block_id``."""
+        return self.blocks[kind][block_id]
+
+    def free_count(self, kind: PageKind) -> int:
+        """Number of free blocks of ``kind``."""
+        return len(self.free_blocks[kind])
+
+    def take_free_block(self, kind: PageKind) -> Block:
+        """Pop the free block with the lowest erase count (wear-aware)."""
+        free = self.free_blocks[kind]
+        if not free:
+            raise OutOfSpaceError(
+                f"plane {self.plane_id} has no free {kind} blocks"
+            )
+        pool = self.blocks[kind]
+        best_position = min(range(len(free)), key=lambda i: pool[free[i]].erase_count)
+        block_id = free.pop(best_position)
+        return pool[block_id]
+
+    def gc_candidates(self, kind: PageKind) -> List[Block]:
+        """Blocks eligible as GC victims: full, not free, not active."""
+        free = set(self.free_blocks[kind])
+        active = self.active_block[kind]
+        return [
+            block
+            for block in self.blocks[kind]
+            if block.is_full and block.block_id not in free and block.block_id != active
+        ]
+
+    def total_free_pages(self, kind: PageKind) -> int:
+        """Pages still programmable without reclaiming anything."""
+        pages = self.free_count(kind) * (
+            self.blocks[kind][0].pages_per_block if self.blocks[kind] else 0
+        )
+        active = self.active_block[kind]
+        if active is not None:
+            pages += self.blocks[kind][active].free_pages
+        return pages

@@ -1,0 +1,223 @@
+"""FTL façade: page-mapped address translation, allocation and GC.
+
+This is the controller logic the paper says an eMMC hides behind its block
+interface ("its controller locally processes address mapping, wear-leveling,
+and garbage collection").  The device timing engine feeds it logical-page
+reads and distributor-produced write groups; the FTL returns the flash
+operations (with their plane placement) the request expands to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..geometry import Geometry, PageKind
+from ..ops import FlashOp, FlashOpType, WriteGroup
+from .allocator import PageAllocator
+from .blocks import OutOfSpaceError, Plane
+from .gc import GcResult, GreedyGC
+from .mapping import PageMapping, PhysicalLocation, PRELOADED_BLOCK
+from .wear_leveling import StaticWearLeveler
+
+
+@dataclass(frozen=True)
+class WriteOutcome:
+    """Flash ops for one host write, plus accounting."""
+
+    ops: List[FlashOp]
+    data_bytes: int
+    flash_bytes: int
+    gc_results: List[GcResult] = field(default_factory=list)
+
+    @property
+    def padding_bytes(self) -> int:
+        """Flash consumed beyond the host data (8PS-style waste)."""
+        return self.flash_bytes - self.data_bytes
+
+
+@dataclass(frozen=True)
+class ReadOutcome:
+    """Flash ops for one host read, plus accounting."""
+
+    ops: List[FlashOp]
+    preloaded_pages: int
+
+
+class Ftl:
+    """Page-mapping flash translation layer over a set of planes."""
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        gc: Optional[GreedyGC] = None,
+        preload_kind: Optional[PageKind] = None,
+        wear_leveler: Optional[StaticWearLeveler] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.planes: List[Plane] = [
+            Plane.create(index, geometry) for index in range(geometry.num_planes)
+        ]
+        self.allocator = PageAllocator(geometry, self.planes)
+        self.mapping = PageMapping()
+        self.gc = gc or GreedyGC()
+        kinds = geometry.kinds()
+        # Pre-existing data is assumed to have been written by large
+        # sequential writes, so it lives in the largest pages available.
+        self.preload_kind = preload_kind or kinds[-1]
+        if self.preload_kind not in kinds:
+            raise ValueError(f"{self.preload_kind} pages not present in geometry")
+        self.wear_leveler = wear_leveler
+        self.gc_results_total = 0
+        self.gc_migrated_slots = 0
+
+    # -- write path ----------------------------------------------------------
+
+    def write(self, groups: Sequence[WriteGroup]) -> WriteOutcome:
+        """Program the given write groups, running GC where needed."""
+        ops: List[FlashOp] = []
+        gc_results: List[GcResult] = []
+        data_bytes = 0
+        flash_bytes = 0
+        for group in groups:
+            plane = self.allocator.next_plane()
+            block, _ = self._allocate_with_gc(plane, group.kind, ops, gc_results)
+            page_index = block.program(group.lpns)
+            for slot, lpn in enumerate(group.lpns):
+                if lpn is None:
+                    continue
+                location = PhysicalLocation(
+                    plane.plane_id, group.kind, block.block_id, page_index, slot
+                )
+                self._invalidate(self.mapping.update(lpn, location))
+            ops.append(
+                FlashOp(FlashOpType.PROGRAM, plane.plane_id, group.kind, group.kind.bytes)
+            )
+            data_bytes += group.data_slots * (group.kind.bytes // group.kind.slots)
+            flash_bytes += group.kind.bytes
+        return WriteOutcome(
+            ops=ops, data_bytes=data_bytes, flash_bytes=flash_bytes, gc_results=gc_results
+        )
+
+    def _allocate_with_gc(
+        self,
+        plane: Plane,
+        kind: PageKind,
+        ops: List[FlashOp],
+        gc_results: List[GcResult],
+    ):
+        """Allocate a page, reclaiming space first when the pool runs low."""
+        if self.gc.needs_gc(plane, kind):
+            self._run_gc(plane, kind, ops, gc_results)
+        try:
+            return self.allocator.allocate(plane, kind)
+        except OutOfSpaceError:
+            self._run_gc(plane, kind, ops, gc_results)
+            return self.allocator.allocate(plane, kind)
+
+    def _run_gc(
+        self,
+        plane: Plane,
+        kind: PageKind,
+        ops: List[FlashOp],
+        gc_results: List[GcResult],
+    ) -> None:
+        for result in self.gc.reclaim_until_safe(plane, kind, self.allocator, self.mapping):
+            ops.extend(result.ops)
+            gc_results.append(result)
+            self.gc_results_total += 1
+            self.gc_migrated_slots += result.migrated_slots
+        if self.wear_leveler is not None:
+            leveled = self.wear_leveler.maybe_level(
+                plane, kind, self.gc, self.allocator, self.mapping
+            )
+            if leveled is not None:
+                ops.extend(leveled.ops)
+                gc_results.append(leveled)
+                self.gc_migrated_slots += leveled.migrated_slots
+
+    def _invalidate(self, stale: Optional[PhysicalLocation]) -> None:
+        if stale is None or stale.preloaded:
+            return
+        self.planes[stale.plane].block(stale.kind, stale.block_id).invalidate(
+            stale.page, stale.slot
+        )
+
+    # -- read path -------------------------------------------------------------
+
+    def read(self, lpns: Sequence[int]) -> ReadOutcome:
+        """Look up (pre-loading unmapped data) and emit page reads.
+
+        LPNs sharing a physical page produce a single read op whose payload
+        covers only the requested slots.
+        """
+        preloaded = 0
+        grouped: Dict[Tuple[int, PageKind, int, int], int] = {}
+        order: List[Tuple[int, PageKind, int, int]] = []
+        for lpn in lpns:
+            location = self.mapping.lookup(lpn)
+            if location is None:
+                location = self._preload(lpn)
+                preloaded += 1
+            key = (location.plane, location.kind, location.block_id, location.page)
+            if key not in grouped:
+                grouped[key] = 0
+                order.append(key)
+            grouped[key] += 1
+        slot_bytes = {kind: kind.bytes // kind.slots for kind in self.geometry.kinds()}
+        ops = [
+            FlashOp(FlashOpType.READ, plane, kind, grouped[(plane, kind, block, page)] * slot_bytes[kind])
+            for plane, kind, block, page in order
+        ]
+        return ReadOutcome(ops=ops, preloaded_pages=preloaded)
+
+    def _preload(self, lpn: int) -> PhysicalLocation:
+        """Deterministic placement for data that predates the trace.
+
+        Adjacent LPNs share a physical page (for multi-slot kinds) and
+        consecutive page groups stripe over planes, matching what the
+        device's own allocator would have produced for a large sequential
+        write.
+        """
+        slots = self.preload_kind.slots
+        group = lpn // slots
+        plane = group % self.geometry.num_planes
+        page = group // self.geometry.num_planes
+        location = PhysicalLocation(
+            plane=plane,
+            kind=self.preload_kind,
+            block_id=PRELOADED_BLOCK,
+            page=page,
+            slot=lpn % slots,
+        )
+        self.mapping.update(lpn, location)
+        return location
+
+    # -- idle-time GC (Implication 2) -----------------------------------------
+
+    def idle_collect(self, soft_threshold: int) -> List[GcResult]:
+        """Collect one victim on every plane/kind below ``soft_threshold``.
+
+        Used by the device during long inter-arrival gaps so foreground
+        writes rarely stall on GC.  Returns the collections performed.
+        """
+        results: List[GcResult] = []
+        for plane in self.planes:
+            for kind in self.geometry.kinds():
+                if plane.free_count(kind) <= soft_threshold:
+                    result = self.gc.collect(plane, kind, self.allocator, self.mapping)
+                    if result is not None:
+                        results.append(result)
+                        self.gc_results_total += 1
+                        self.gc_migrated_slots += result.migrated_slots
+        return results
+
+    # -- capacity accounting ----------------------------------------------------
+
+    def free_pages_by_kind(self) -> Dict[PageKind, int]:
+        """Programmable pages remaining, per page kind."""
+        totals = {kind: 0 for kind in self.geometry.kinds()}
+        for plane in self.planes:
+            for kind in totals:
+                totals[kind] += plane.total_free_pages(kind)
+        return totals

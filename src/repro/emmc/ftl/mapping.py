@@ -1,0 +1,69 @@
+"""Page-level address mapping for the eMMC FTL.
+
+The mapping translates 4 KB logical page numbers (LPNs) to physical slots.
+A physical 8 KB page holds two slots, so two LPNs can map into one physical
+page (the HPS and 8PS write paths exploit this).
+
+Locations with ``block_id == PRELOADED_BLOCK`` describe data that existed on
+the device before the trace started (the paper replays traces of *reads of
+pre-existing data* on a brand-new simulated device); such pseudo-blocks have
+realistic plane placement for timing purposes but are not part of the GC
+pool -- see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..geometry import PageKind
+
+#: Sentinel block id for pre-existing ("pre-loaded") data.
+PRELOADED_BLOCK = -1
+
+
+@dataclass(frozen=True)
+class PhysicalLocation:
+    """Where one logical 4 KB page lives on flash."""
+
+    plane: int
+    kind: PageKind
+    block_id: int
+    page: int
+    slot: int
+
+    @property
+    def preloaded(self) -> bool:
+        """True for data that existed before the trace started."""
+        return self.block_id == PRELOADED_BLOCK
+
+
+class PageMapping:
+    """LPN -> :class:`PhysicalLocation` table maintained by the controller."""
+
+    def __init__(self) -> None:
+        self._table: Dict[int, PhysicalLocation] = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, lpn: int) -> bool:
+        return lpn in self._table
+
+    def lookup(self, lpn: int) -> Optional[PhysicalLocation]:
+        """Location of ``lpn``, or ``None`` if unmapped."""
+        return self._table.get(lpn)
+
+    def update(self, lpn: int, location: PhysicalLocation) -> Optional[PhysicalLocation]:
+        """Map ``lpn`` to ``location``; returns the stale old location if any."""
+        old = self._table.get(lpn)
+        self._table[lpn] = location
+        return old
+
+    def remove(self, lpn: int) -> Optional[PhysicalLocation]:
+        """Unmap ``lpn`` (TRIM); returns the stale location if any."""
+        return self._table.pop(lpn, None)
+
+    def mapped_lpns(self):
+        """Iterator over all mapped LPNs (test/introspection helper)."""
+        return iter(self._table)

@@ -1,0 +1,97 @@
+"""Wear-leveling statistics and policies.
+
+Implication 4 of the paper argues that the weak localities of smartphone
+workloads mean *a simple wear-leveling strategy is sufficient* for an eMMC
+device.  The FTL accordingly defaults to dynamic wear-leveling only: when a
+new active block is needed, the free block with the lowest erase count is
+chosen (:meth:`repro.emmc.ftl.blocks.Plane.take_free_block`).
+
+For the ablation that backs the implication, :class:`StaticWearLeveler`
+implements the heavier alternative: when the erase-count spread inside a
+pool exceeds a threshold, the coldest full block is forcibly collected so
+its (possibly fully valid) data moves onto hotter blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..geometry import PageKind
+from .blocks import Plane
+
+
+@dataclass(frozen=True)
+class WearStats:
+    """Summary of per-block erase counts across the device."""
+
+    total_erases: int
+    max_erase: int
+    min_erase: int
+    mean_erase: float
+
+    @property
+    def spread(self) -> int:
+        """Max-minus-min erase count; 0 means perfectly even wear."""
+        return self.max_erase - self.min_erase
+
+    @property
+    def evenness(self) -> float:
+        """1.0 when all blocks have equal erase counts, lower otherwise."""
+        if self.max_erase == 0:
+            return 1.0
+        return self.min_erase / self.max_erase
+
+
+class StaticWearLeveler:
+    """Threshold-triggered cold-block relocation.
+
+    When ``max_erase - min_erase`` inside a plane's pool exceeds
+    ``spread_threshold``, the coldest full block is collected (its valid
+    data migrates to a low-erase-count free block) so the pool's wear
+    evens out.  Each check relocates at most one block.
+    """
+
+    def __init__(self, spread_threshold: int = 8) -> None:
+        if spread_threshold < 1:
+            raise ValueError("spread threshold must be positive")
+        self.spread_threshold = spread_threshold
+        self.relocations = 0
+
+    def maybe_level(self, plane: Plane, kind: PageKind, gc, allocator, mapping):
+        """Relocate one cold block if the spread warrants it.
+
+        Returns the :class:`~repro.emmc.ftl.gc.GcResult` of the relocation,
+        or ``None`` when the pool is even enough (or has no candidate).
+        """
+        pool = plane.blocks[kind]
+        if not pool:
+            return None
+        erase_counts = [block.erase_count for block in pool]
+        if max(erase_counts) - min(erase_counts) < self.spread_threshold:
+            return None
+        candidates = plane.gc_candidates(kind)
+        if not candidates:
+            return None
+        coldest = min(candidates, key=lambda block: block.erase_count)
+        if max(erase_counts) - coldest.erase_count < self.spread_threshold:
+            return None
+        result = gc.collect_block(plane, kind, coldest, allocator, mapping)
+        self.relocations += 1
+        return result
+
+
+def collect_wear(planes: Iterable[Plane]) -> WearStats:
+    """Aggregate erase-count statistics over all blocks of all planes."""
+    counts: List[int] = []
+    for plane in planes:
+        for pool in plane.blocks.values():
+            counts.extend(block.erase_count for block in pool)
+    if not counts:
+        return WearStats(total_erases=0, max_erase=0, min_erase=0, mean_erase=0.0)
+    return WearStats(
+        total_erases=sum(counts),
+        max_erase=max(counts),
+        min_erase=min(counts),
+        mean_erase=sum(counts) / len(counts),
+    )

@@ -1,0 +1,160 @@
+"""Physical geometry of the simulated eMMC device.
+
+Mirrors SSDsim's hierarchy (the paper's simulator substrate): the device has
+``channels x chips x dies x planes``, each plane holds blocks, each block
+holds pages.  The HPS extension (Section V) allows *blocks of different page
+sizes inside one plane*: all pages in a block share one size, but a plane may
+hold both 4 KB-page blocks and 8 KB-page blocks (Fig. 10).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.trace import SECTOR
+
+
+class PageKind(enum.Enum):
+    """Flash page size class of a block, plus its cell mode.
+
+    ``K4_SLC`` models the paper's Implication 5: an MLC block operated in
+    SLC mode (using only the fast pages) serves 4 KB requests with
+    SLC-like latency at the cost of half the block's capacity.
+    """
+
+    K4 = (4096, "mlc")
+    K8 = (8192, "mlc")
+    K4_SLC = (4096, "slc")
+
+    @property
+    def bytes(self) -> int:
+        """Page size in bytes."""
+        return self.value[0]
+
+    @property
+    def mode(self) -> str:
+        """Cell mode, ``"mlc"`` or ``"slc"``."""
+        return self.value[1]
+
+    @property
+    def is_slc(self) -> bool:
+        """True for blocks run in SLC mode (half the usable pages)."""
+        return self.value[1] == "slc"
+
+    @property
+    def slots(self) -> int:
+        """Number of 4 KB logical sub-pages one physical page holds."""
+        return self.bytes // SECTOR
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        suffix = "-SLC" if self.is_slc else ""
+        return f"{self.bytes // 1024}K{suffix}"
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Device shape (Table V's ``channel x chip x die x plane`` row).
+
+    ``blocks_per_plane`` maps each page kind to the number of blocks of that
+    kind inside every plane -- e.g. ``{K4: 1024}`` for the pure-4KB scheme or
+    ``{K4: 512, K8: 256}`` for HPS.
+    """
+
+    channels: int = 2
+    chips_per_channel: int = 1
+    dies_per_chip: int = 2
+    planes_per_die: int = 2
+    blocks_per_plane: Dict[PageKind, int] = field(
+        default_factory=lambda: {PageKind.K4: 1024}
+    )
+    pages_per_block: int = 1024
+
+    def __post_init__(self) -> None:
+        for count in (self.channels, self.chips_per_channel, self.dies_per_chip,
+                      self.planes_per_die, self.pages_per_block):
+            if count <= 0:
+                raise ValueError("all geometry dimensions must be positive")
+        if not self.blocks_per_plane or any(v <= 0 for v in self.blocks_per_plane.values()):
+            raise ValueError("blocks_per_plane must have positive counts")
+
+    @property
+    def num_planes(self) -> int:
+        """Total planes in the device."""
+        return (
+            self.channels
+            * self.chips_per_channel
+            * self.dies_per_chip
+            * self.planes_per_die
+        )
+
+    @property
+    def planes_per_channel(self) -> int:
+        """Planes behind each channel."""
+        return self.chips_per_channel * self.dies_per_chip * self.planes_per_die
+
+    def channel_of(self, plane_index: int) -> int:
+        """Channel a flat plane index belongs to.
+
+        Planes are numbered channel-major: plane 0 is (channel 0, chip 0,
+        die 0, plane 0), plane 1 is the *next channel's* first plane, and so
+        on -- so round-robin allocation over flat plane indices stripes
+        across channels first, maximizing bus parallelism (SSDsim's dynamic
+        allocation, channel-first order).
+        """
+        if not 0 <= plane_index < self.num_planes:
+            raise ValueError(f"plane index {plane_index} out of range")
+        return plane_index % self.channels
+
+    @property
+    def num_dies(self) -> int:
+        """Total dies in the device."""
+        return self.channels * self.chips_per_channel * self.dies_per_chip
+
+    def die_of(self, plane_index: int) -> int:
+        """Flat die index of a plane.
+
+        The die -- not the plane -- is the busy unit for reads, programs and
+        erases: a cost-constrained eMMC controller issues no multi-plane
+        advanced commands, which is the paper's Implication 1 observation
+        that "multiple sub-requests split from a large-size request cannot
+        be processed in a complete parallel manner".
+        """
+        channel, chip, die, _ = self.decompose(plane_index)
+        return (channel * self.chips_per_channel + chip) * self.dies_per_chip + die
+
+    def decompose(self, plane_index: int) -> Tuple[int, int, int, int]:
+        """Flat plane index -> (channel, chip, die, plane)."""
+        channel = plane_index % self.channels
+        rest = plane_index // self.channels
+        chip = rest % self.chips_per_channel
+        rest //= self.chips_per_channel
+        die = rest % self.dies_per_chip
+        plane = rest // self.dies_per_chip
+        return channel, chip, die, plane
+
+    def pages_for(self, kind: PageKind) -> int:
+        """Usable pages per block of ``kind``.
+
+        SLC-mode blocks (Implication 5) expose only half the pages: the MLC
+        cell stores one bit instead of two.
+        """
+        if kind.is_slc:
+            return max(1, self.pages_per_block // 2)
+        return self.pages_per_block
+
+    def plane_bytes(self) -> int:
+        """Capacity of one plane."""
+        return sum(
+            count * self.pages_for(kind) * kind.bytes
+            for kind, count in self.blocks_per_plane.items()
+        )
+
+    def capacity_bytes(self) -> int:
+        """Raw capacity of the whole device."""
+        return self.num_planes * self.plane_bytes()
+
+    def kinds(self) -> List[PageKind]:
+        """Page kinds present, smallest first (SLC before MLC at a tie)."""
+        return sorted(self.blocks_per_plane, key=lambda kind: (kind.bytes, kind.mode))

@@ -1,0 +1,57 @@
+"""Device power-state model (Characteristic 4).
+
+"An eMMC device will enter into a low-power mode if the request
+inter-arrival time is longer than its power-saving threshold. ... Frequent
+mode switching, however, increases request mean response times."
+
+The model is two-state: ACTIVE and LOW_POWER.  The device drops to
+LOW_POWER after ``power_threshold_us`` of idleness; the first request after
+that pays ``warmup_us`` before any flash op can start.  This is what gives
+the low-arrival-rate applications (Idle, CallIn, CallOut, YouTube) their
+elevated mean service times in Table IV.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PowerState(enum.Enum):
+    """Device power state: active or low-power."""
+    ACTIVE = "active"
+    LOW_POWER = "low-power"
+
+
+@dataclass
+class PowerModel:
+    """Tracks idleness and charges wake-up latency."""
+
+    power_threshold_us: float
+    warmup_us: float
+    _last_activity_end_us: float = 0.0
+    wakeups: int = 0
+    mode_switches: int = 0
+
+    def state_at(self, now_us: float) -> PowerState:
+        """Power state just before a request arriving at ``now_us``."""
+        if now_us - self._last_activity_end_us > self.power_threshold_us:
+            return PowerState.LOW_POWER
+        return PowerState.ACTIVE
+
+    def wakeup_penalty(self, dispatch_us: float) -> float:
+        """Warm-up latency (0 when already active); call once per dispatch."""
+        if self.state_at(dispatch_us) is PowerState.LOW_POWER:
+            self.wakeups += 1
+            self.mode_switches += 2  # down and back up
+            return self.warmup_us
+        return 0.0
+
+    def record_activity_end(self, finish_us: float) -> None:
+        """Note when the device last finished work."""
+        self._last_activity_end_us = max(self._last_activity_end_us, finish_us)
+
+    @property
+    def last_activity_end_us(self) -> float:
+        """When the device last finished work."""
+        return self._last_activity_end_us

@@ -1,0 +1,43 @@
+"""HPS structure helpers (Fig. 10: the structure of an HPS die).
+
+The hybrid-page-size idea: every block keeps a single page size and the
+same page count, but a plane mixes blocks of different page sizes, so the
+request distributor can steer 8 KB-aligned sub-requests to 8 KB-page blocks
+and odd 4 KB tails to 4 KB-page blocks -- large requests enjoy the big
+pages' better per-byte program time while small requests avoid both the
+write-latency and the space penalty of padding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .device import DeviceConfig
+from .geometry import PageKind
+
+
+def plane_layout(config: DeviceConfig) -> Dict[PageKind, int]:
+    """Blocks per plane by page kind."""
+    return dict(config.geometry.blocks_per_plane)
+
+
+def describe_die(config: DeviceConfig) -> str:
+    """ASCII rendition of one die's plane layout (Fig. 10 analogue)."""
+    geometry = config.geometry
+    lines: List[str] = [f"{config.name} die: {geometry.planes_per_die} planes"]
+    for plane in range(geometry.planes_per_die):
+        lines.append(f"  plane {plane}:")
+        for kind in geometry.kinds():
+            count = geometry.blocks_per_plane[kind]
+            lines.append(
+                f"    {count:5d} blocks x {geometry.pages_per_block} pages x {kind} "
+                f"({count * geometry.pages_per_block * kind.bytes // (1024 * 1024)} MiB)"
+            )
+    lines.append(f"  plane capacity: {geometry.plane_bytes() // (1024 * 1024)} MiB")
+    return "\n".join(lines)
+
+
+def capacity_matches(*configs: DeviceConfig) -> bool:
+    """Table V sanity: all schemes must expose the same total capacity."""
+    capacities = {config.geometry.capacity_bytes() for config in configs}
+    return len(capacities) == 1

@@ -1,0 +1,19 @@
+"""Per-table/figure experiment harness (see DESIGN.md's experiment index)."""
+
+from .common import (
+    ExperimentResult,
+    all_traces,
+    individual_traces,
+    replay_on,
+    replayed_all,
+    replayed_individual,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "all_traces",
+    "individual_traces",
+    "replay_on",
+    "replayed_all",
+    "replayed_individual",
+]

@@ -1,0 +1,118 @@
+"""Calibration report: per-cell deltas of the generator vs the paper.
+
+Runs the paper's own characterization over the synthetic traces and prints
+every Table III/IV cell as *measured - published*, flagging cells outside
+the generator's accuracy budget.  This is the maintenance tool for the
+workload profiles: any change to the samplers shows up here first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis import render_table, size_stats, timing_stats
+from repro.workloads import ALL_TRACES, DEFAULT_SEED, TABLE_III, TABLE_IV
+
+from .common import ExperimentResult, all_traces, replayed_all
+
+#: Accuracy budget per column: (kind, tolerance).  "abs" tolerances are in
+#: the column's own unit (percentage points, ms, ...); "rel" are ratios.
+TOLERANCES = {
+    "write_req_pct": ("abs", 4.0),
+    "avg_size_kib": ("rel", 0.30),
+    "write_size_pct": ("abs", 10.0),
+    "duration_s": ("rel", 0.20),
+    "arrival_rate": ("rel", 0.25),
+    "spatial_locality_pct": ("abs", 4.0),
+    "temporal_locality_pct": ("abs", 8.0),
+    "nowait_pct": ("abs", 12.0),
+}
+
+
+#: Cells known to sit outside the budget, with the reason documented in
+#: EXPERIMENTS.md: Booting's closed-loop collection stretches its 40 s of
+#: wall time because the simulated device serves its dense burst mix more
+#: slowly than the real iNAND did.
+KNOWN_EXCEPTIONS = {("Booting", "duration_s"), ("Booting", "arrival_rate")}
+
+
+@dataclass(frozen=True)
+class CellDelta:
+    """One measured-vs-published cell."""
+
+    trace: str
+    column: str
+    measured: float
+    published: float
+    within_budget: bool
+
+    @property
+    def delta(self) -> float:
+        """Measured minus published."""
+        return self.measured - self.published
+
+
+def _check(trace, column, measured, published) -> CellDelta:
+    kind, tolerance = TOLERANCES[column]
+    if kind == "abs":
+        ok = abs(measured - published) <= tolerance
+    else:
+        ok = published == 0 or abs(measured / published - 1.0) <= tolerance
+    return CellDelta(trace, column, measured, published, ok)
+
+
+def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> ExperimentResult:
+    """Check every budgeted cell for all 25 traces."""
+    deltas: List[CellDelta] = []
+    for trace in all_traces(seed=seed, num_requests=num_requests):
+        measured3 = size_stats(trace)
+        paper3 = TABLE_III[trace.name]
+        for column in ("write_req_pct", "avg_size_kib", "write_size_pct"):
+            deltas.append(
+                _check(trace.name, column, getattr(measured3, column), getattr(paper3, column))
+            )
+    for replay in replayed_all(seed=seed, num_requests=num_requests):
+        measured4 = timing_stats(replay.trace)
+        paper4 = TABLE_IV[replay.trace.name]
+        columns = ["spatial_locality_pct", "temporal_locality_pct", "nowait_pct"]
+        if num_requests is None:
+            # Duration/rate only make sense at the published trace lengths.
+            columns += ["duration_s", "arrival_rate"]
+        for column in columns:
+            deltas.append(
+                _check(replay.trace.name, column,
+                       getattr(measured4, column), getattr(paper4, column))
+            )
+    out_of_budget = [
+        d
+        for d in deltas
+        if not d.within_budget and (d.trace, d.column) not in KNOWN_EXCEPTIONS
+    ]
+    known = [
+        d
+        for d in deltas
+        if not d.within_budget and (d.trace, d.column) in KNOWN_EXCEPTIONS
+    ]
+    rows = [
+        [d.trace, d.column, d.measured, d.published, f"{d.delta:+.2f}"]
+        for d in out_of_budget
+    ] or [["-", "all cells within budget", 0.0, 0.0, "-"]]
+    table = render_table(
+        ["Trace", "Column", "Measured", "Published", "Delta"],
+        rows,
+        title=(
+            f"{len(deltas)} cells checked, {len(out_of_budget)} outside budget "
+            f"({len(known)} known exceptions, see EXPERIMENTS.md)"
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="calibration",
+        title="Generator calibration report (measured vs published)",
+        table=table,
+        data={"deltas": deltas, "out_of_budget": out_of_budget, "known": known},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,41 @@
+"""The six characteristics (Section III), checked end to end."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis import check_all, render_table
+from repro.workloads import DEFAULT_SEED
+
+from .common import ExperimentResult, individual_traces, replayed_individual
+
+
+def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> ExperimentResult:
+    """Run all six characteristic checks on the 18 individual traces."""
+    traces = individual_traces(seed=seed, num_requests=num_requests)
+    replays = replayed_individual(seed=seed, num_requests=num_requests)
+    results = check_all(
+        traces,
+        [replay.trace for replay in replays],
+        [replay.device_stats.wakeups for replay in replays],
+    )
+    rows = [
+        [
+            f"C{result.number}",
+            result.claim,
+            result.holds,
+            "; ".join(f"{key}={value:.1f}" for key, value in result.evidence.items()),
+        ]
+        for result in results
+    ]
+    table = render_table(["#", "Claim", "Holds", "Evidence"], rows)
+    return ExperimentResult(
+        experiment_id="characteristics",
+        title="The six observed characteristics",
+        table=table,
+        data={"results": results},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,88 @@
+"""Shared infrastructure for the per-table/figure experiment modules."""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace import Trace
+from repro.workloads import (
+    ALL_TRACES,
+    DEFAULT_SEED,
+    INDIVIDUAL_APPS,
+    generate_trace,
+)
+from repro.workloads.collection import CollectionResult, collect
+from repro.emmc import DeviceConfig, EmmcDevice, ReplayResult, four_ps
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment: a printable report plus structured data."""
+
+    experiment_id: str
+    title: str
+    table: str
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """The printable report for this experiment."""
+        return f"== {self.experiment_id}: {self.title} ==\n{self.table}"
+
+
+@functools.lru_cache(maxsize=16)
+def _cached_traces(
+    names: Tuple[str, ...], seed: int, num_requests: Optional[int]
+) -> Tuple[Trace, ...]:
+    return tuple(
+        generate_trace(name, seed=seed, num_requests=num_requests) for name in names
+    )
+
+
+def individual_traces(
+    seed: int = DEFAULT_SEED, num_requests: Optional[int] = None
+) -> List[Trace]:
+    """The 18 individual traces (cached per seed/size)."""
+    return list(_cached_traces(tuple(INDIVIDUAL_APPS), seed, num_requests))
+
+
+def all_traces(
+    seed: int = DEFAULT_SEED, num_requests: Optional[int] = None
+) -> List[Trace]:
+    """All 25 traces (cached per seed/size)."""
+    return list(_cached_traces(tuple(ALL_TRACES), seed, num_requests))
+
+
+def replay_on(config: DeviceConfig, trace: Trace) -> ReplayResult:
+    """Replay ``trace`` on a brand-new device built from ``config``."""
+    return EmmcDevice(config).replay(trace.without_timing())
+
+
+@functools.lru_cache(maxsize=4)
+def _cached_collections(
+    names: Tuple[str, ...], seed: int, num_requests: Optional[int]
+) -> Tuple[CollectionResult, ...]:
+    return tuple(
+        collect(name, seed=seed, num_requests=num_requests) for name in names
+    )
+
+
+def replayed_individual(
+    seed: int = DEFAULT_SEED, num_requests: Optional[int] = None
+) -> List[CollectionResult]:
+    """The 18 individual traces collected closed-loop on the reference device.
+
+    This is the BIOtracer methodology (see
+    :mod:`repro.workloads.collection`): the recorded timestamps are what the
+    monitor would log on the phone, which is what Table IV, Fig. 5 and the
+    characteristics are computed from.
+    """
+    return list(_cached_collections(tuple(INDIVIDUAL_APPS), seed, num_requests))
+
+
+def replayed_all(
+    seed: int = DEFAULT_SEED, num_requests: Optional[int] = None
+) -> List[CollectionResult]:
+    """All 25 traces collected closed-loop on the reference device."""
+    return list(_cached_collections(tuple(ALL_TRACES), seed, num_requests))

@@ -1,0 +1,29 @@
+"""Fig. 4: request size distributions of the 18 individual applications."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis import render_histogram_table, size_distribution
+from repro.workloads import DEFAULT_SEED
+
+from .common import ExperimentResult, individual_traces
+
+
+def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> ExperimentResult:
+    """Bucketed size histograms, one row per application (percent)."""
+    traces = individual_traces(seed=seed, num_requests=num_requests)
+    histograms = [size_distribution(trace) for trace in traces]
+    table = render_histogram_table(
+        [trace.name for trace in traces], histograms
+    )
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Request size distributions (percent of requests)",
+        table=table,
+        data={"histograms": dict(zip((t.name for t in traces), histograms))},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

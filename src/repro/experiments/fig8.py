@@ -1,0 +1,76 @@
+"""Fig. 8: mean response time of 4PS vs 8PS vs HPS on the 18 traces.
+
+Paper headlines: HPS beats 4PS on every trace -- by up to 86 % (Booting),
+no less than 24 % (Movie), 61.9 % on average -- and 8PS performs very
+similarly to HPS.  The RAM buffer is disabled, each trace replays on a
+brand-new device (Section V-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis import render_table
+from repro.workloads import DEFAULT_SEED, FIG8_HPS_VS_4PS, INDIVIDUAL_APPS
+
+from repro.emmc import eight_ps, four_ps, hps
+
+from .common import ExperimentResult, individual_traces, replay_on
+
+SCHEMES = ("4PS", "8PS", "HPS")
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    num_requests: Optional[int] = None,
+    apps: Optional[List[str]] = None,
+) -> ExperimentResult:
+    """Replay every trace on all three schemes and compare MRT."""
+    selected = list(apps) if apps is not None else list(INDIVIDUAL_APPS)
+    configs = {"4PS": four_ps(), "8PS": eight_ps(), "HPS": hps()}
+    traces = [
+        trace
+        for trace in individual_traces(seed=seed, num_requests=num_requests)
+        if trace.name in selected
+    ]
+    mrt: Dict[str, Dict[str, float]] = {}
+    rows = []
+    improvements = []
+    for trace in traces:
+        per_scheme = {
+            scheme: replay_on(config, trace).stats.mean_response_ms
+            for scheme, config in configs.items()
+        }
+        mrt[trace.name] = per_scheme
+        improvement = 1.0 - per_scheme["HPS"] / per_scheme["4PS"]
+        improvements.append(improvement)
+        rows.append(
+            [
+                trace.name,
+                per_scheme["4PS"],
+                per_scheme["8PS"],
+                per_scheme["HPS"],
+                f"{improvement * 100:.1f}%",
+            ]
+        )
+    average = sum(improvements) / len(improvements) if improvements else 0.0
+    footer = (
+        f"HPS vs 4PS: best {max(improvements) * 100:.1f}%, "
+        f"worst {min(improvements) * 100:.1f}%, average {average * 100:.1f}%  "
+        f"(paper: best {FIG8_HPS_VS_4PS['best'][1] * 100:.0f}% on "
+        f"{FIG8_HPS_VS_4PS['best'][0]}, worst {FIG8_HPS_VS_4PS['worst'][1] * 100:.0f}% on "
+        f"{FIG8_HPS_VS_4PS['worst'][0]}, average {FIG8_HPS_VS_4PS['average'] * 100:.1f}%)"
+    ) if improvements else ""
+    table = render_table(
+        ["App", "4PS MRT ms", "8PS MRT ms", "HPS MRT ms", "HPS vs 4PS"], rows
+    )
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Mean response time of the three schemes",
+        table=table + "\n" + footer,
+        data={"mrt": mrt, "improvements": dict(zip((t.name for t in traces), improvements))},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

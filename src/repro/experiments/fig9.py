@@ -1,0 +1,70 @@
+"""Fig. 9: space utilization of 8PS and HPS, normalized to 4PS.
+
+Paper headlines: HPS always achieves the same space utilization as 4PS
+(no padding is ever written); against 8PS its best gain is 24.2 % (Music)
+and the average gain is 13.1 %.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis import render_table
+from repro.workloads import DEFAULT_SEED, FIG9_HPS_VS_8PS, INDIVIDUAL_APPS
+
+from repro.emmc import eight_ps, four_ps, hps
+
+from .common import ExperimentResult, individual_traces, replay_on
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    num_requests: Optional[int] = None,
+    apps: Optional[List[str]] = None,
+) -> ExperimentResult:
+    """Measure space utilization per scheme; normalize to 4PS."""
+    selected = list(apps) if apps is not None else list(INDIVIDUAL_APPS)
+    configs = {"4PS": four_ps(), "8PS": eight_ps(), "HPS": hps()}
+    traces = [
+        trace
+        for trace in individual_traces(seed=seed, num_requests=num_requests)
+        if trace.name in selected
+    ]
+    utilization: Dict[str, Dict[str, float]] = {}
+    rows = []
+    gains = []
+    for trace in traces:
+        per_scheme = {
+            scheme: replay_on(config, trace).stats.space_utilization
+            for scheme, config in configs.items()
+        }
+        utilization[trace.name] = per_scheme
+        gain = per_scheme["HPS"] / per_scheme["8PS"] - 1.0 if per_scheme["8PS"] else 0.0
+        gains.append(gain)
+        rows.append(
+            [
+                trace.name,
+                per_scheme["8PS"] / per_scheme["4PS"],
+                per_scheme["HPS"] / per_scheme["4PS"],
+                f"{gain * 100:.1f}%",
+            ]
+        )
+    average = sum(gains) / len(gains) if gains else 0.0
+    footer = (
+        f"HPS vs 8PS: best {max(gains) * 100:.1f}%, average {average * 100:.1f}%  "
+        f"(paper: best {FIG9_HPS_VS_8PS['best'][1] * 100:.1f}% on "
+        f"{FIG9_HPS_VS_8PS['best'][0]}, average {FIG9_HPS_VS_8PS['average'] * 100:.1f}%)"
+    ) if gains else ""
+    table = render_table(
+        ["App", "8PS / 4PS", "HPS / 4PS", "HPS vs 8PS"], rows
+    )
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="Space utilization normalized to 4PS",
+        table=table + "\n" + footer,
+        data={"utilization": utilization, "gains": dict(zip((t.name for t in traces), gains))},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

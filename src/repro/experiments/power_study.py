@@ -1,0 +1,77 @@
+"""Extension study: the power-saving-threshold trade-off (Characteristic 4).
+
+"An eMMC device will enter into a low-power mode if the request
+inter-arrival time is longer than its power-saving threshold. ... Frequent
+mode switching, however, increases request mean response times."
+
+This experiment sweeps the threshold on a sparse workload and reports both
+sides of the trade: mean response time (wake-up stalls) and energy (idle
+power vs sleep power vs wake-up costs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from repro.analysis import render_table
+from repro.workloads import DEFAULT_SEED, generate_trace
+from repro.emmc import EmmcDevice, four_ps
+from repro.emmc.energy import EnergyParams, energy_report
+
+from .common import ExperimentResult
+
+#: Threshold sweep, microseconds (10 ms .. 10 s plus "never sleeps").
+DEFAULT_THRESHOLDS_US = (10_000.0, 100_000.0, 1_000_000.0, 10_000_000.0, float("inf"))
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    num_requests: Optional[int] = None,
+    app: str = "YouTube",
+    thresholds_us: Sequence[float] = DEFAULT_THRESHOLDS_US,
+) -> ExperimentResult:
+    """MRT and energy vs power-saving threshold on a sparse trace."""
+    trace = generate_trace(app, seed=seed, num_requests=num_requests)
+    params = EnergyParams()
+    rows = []
+    data: Dict[str, Dict[str, float]] = {}
+    for threshold in thresholds_us:
+        effective = min(threshold, 1e15)  # "inf": never enters low power
+        config = four_ps()
+        config = config.with_overrides(
+            latency=dataclasses.replace(config.latency, power_threshold_us=effective)
+        )
+        result = EmmcDevice(config).replay(trace.without_timing())
+        report = energy_report(result.stats, params)
+        label = "never" if threshold == float("inf") else f"{threshold / 1000:.0f} ms"
+        data[label] = {
+            "mrt_ms": result.stats.mean_response_ms,
+            "wakeups": result.stats.wakeups,
+            "energy_mj": report.total_mj,
+            "idle_share": report.idle_share,
+        }
+        rows.append(
+            [
+                label,
+                result.stats.mean_response_ms,
+                result.stats.wakeups,
+                report.total_mj,
+                f"{report.idle_share * 100:.1f}%",
+            ]
+        )
+    table = render_table(
+        ["Threshold", "MRT ms", "Wake-ups", "Energy mJ", "Idle energy share"],
+        rows,
+        title=f"{app}: power threshold sweep",
+    )
+    return ExperimentResult(
+        experiment_id="power_study",
+        title="Power-saving threshold trade-off (Characteristic 4)",
+        table=table,
+        data=data,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,130 @@
+"""Run every experiment and optionally write EXPERIMENTS.md.
+
+Command line::
+
+    repro-experiments                 # run everything, print reports
+    repro-experiments fig8 fig9      # a subset
+    repro-experiments --quick        # shortened traces (smoke run)
+    repro-experiments --output EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.workloads import DEFAULT_SEED
+
+from . import (
+    calibration,
+    characteristics,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    ftl_study,
+    implications,
+    lifetime,
+    overhead,
+    power_study,
+    sdcard_study,
+    sensitivity,
+    slc_study,
+    table3,
+    table4,
+)
+from .common import ExperimentResult
+
+#: Experiment registry in the order they appear in the paper.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig3": lambda seed, n: fig3.run(seed=seed, num_requests=n),
+    "table3": lambda seed, n: table3.run(seed=seed, num_requests=n),
+    "fig4": lambda seed, n: fig4.run(seed=seed, num_requests=n),
+    "table4": lambda seed, n: table4.run(seed=seed, num_requests=n),
+    "fig5": lambda seed, n: fig5.run(seed=seed, num_requests=n),
+    "fig6": lambda seed, n: fig6.run(seed=seed, num_requests=n),
+    "fig7": lambda seed, n: fig7.run(seed=seed, num_requests=n),
+    "characteristics": lambda seed, n: characteristics.run(seed=seed, num_requests=n),
+    "implications": lambda seed, n: implications.run(seed=seed, num_requests=n),
+    "overhead": lambda seed, n: overhead.run(duration_s=120.0 if n else 600.0),
+    "fig8": lambda seed, n: fig8.run(seed=seed, num_requests=n),
+    "fig9": lambda seed, n: fig9.run(seed=seed, num_requests=n),
+    # Extension studies beyond the paper's evaluation section.
+    "slc_study": lambda seed, n: slc_study.run(seed=seed, num_requests=n),
+    "lifetime": lambda seed, n: lifetime.run(seed=seed, num_requests=n),
+    "sensitivity": lambda seed, n: sensitivity.run(seed=seed, num_requests=n),
+    "power_study": lambda seed, n: power_study.run(seed=seed, num_requests=n),
+    "sdcard_study": lambda seed, n: sdcard_study.run(seed=seed, num_requests=n),
+    "ftl_study": lambda seed, n: ftl_study.run(seed=seed, num_requests=n),
+    "calibration": lambda seed, n: calibration.run(seed=seed, num_requests=n),
+}
+
+
+def run_experiments(
+    ids: Optional[List[str]] = None,
+    seed: int = DEFAULT_SEED,
+    num_requests: Optional[int] = None,
+) -> List[ExperimentResult]:
+    """Run the selected experiments (all, in paper order, by default)."""
+    selected = list(ids) if ids else list(EXPERIMENTS)
+    unknown = [identifier for identifier in selected if identifier not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}; known: {list(EXPERIMENTS)}")
+    return [EXPERIMENTS[identifier](seed, num_requests) for identifier in selected]
+
+
+def _jsonable(value):
+    """Best-effort conversion of experiment data to JSON-serializable form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--quick", action="store_true", help="shorten traces to 1500 requests"
+    )
+    parser.add_argument("--output", help="also write the reports to this file")
+    parser.add_argument(
+        "--json", help="write every experiment's structured data to this JSON file"
+    )
+    args = parser.parse_args(argv)
+    num_requests = 1500 if args.quick else None
+    reports: List[str] = []
+    structured: Dict[str, object] = {}
+    for identifier in args.ids or list(EXPERIMENTS):
+        started = time.time()
+        result = EXPERIMENTS[identifier](args.seed, num_requests)
+        rendered = result.render()
+        print(rendered)
+        print(f"[{identifier} finished in {time.time() - started:.1f}s]\n")
+        reports.append(rendered)
+        structured[identifier] = _jsonable(result.data)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write("\n\n".join(reports) + "\n")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(structured, handle, indent=2)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Extension study: offloading I/O to an external SD card (Implication 1).
+
+"For most traces, using an external SDcard could unexpectedly degrade
+overall performance because the slower external SDcard negatively affect
+the overall performance when the internal eMMC device alone can process
+most requests in time."  (The paper notes the Nexus 5's eMMC is roughly
+3x the best of 8 tested SD cards.)
+
+We model the SD card as a one-channel, two-die device with a slow bus and
+a weak controller (about 3x slower overall), route a fraction of the
+address space to it, and measure the combined mean response time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from repro.trace import Trace
+from repro.analysis import render_table
+from repro.workloads import DEFAULT_SEED, generate_trace
+from repro.emmc import EmmcDevice, Geometry, LatencyParams, PageKind, PageTiming, four_ps
+from repro.emmc.device import DeviceConfig
+
+from .common import ExperimentResult
+
+
+def sdcard_config() -> DeviceConfig:
+    """A class-10-style SD card: one channel, slow bus, weak controller."""
+    return DeviceConfig(
+        name="SDcard",
+        geometry=Geometry(
+            channels=1,
+            chips_per_channel=1,
+            dies_per_chip=2,
+            planes_per_die=2,
+            blocks_per_plane={PageKind.K4: 1024},
+            pages_per_block=1024,
+        ),
+        latency=LatencyParams(
+            page={
+                PageKind.K4: PageTiming(read_us=300.0, program_us=2600.0),
+            },
+            bus_bytes_per_us=15.0,  # ~15 MB/s bus
+            ftl_overhead_us=350.0,  # weak controller: poor random 4K
+            command_overhead_us=40.0,
+        ),
+    )
+
+
+def split_trace(trace: Trace, offload_fraction: float) -> Dict[str, Trace]:
+    """Deterministically route a fraction of the address space to the card.
+
+    Addresses hash by 1 MiB region so related data stays together, like
+    moving whole files/directories to external storage.
+    """
+    if not 0.0 <= offload_fraction <= 1.0:
+        raise ValueError("offload fraction must be in [0, 1]")
+    internal = []
+    external = []
+    for request in trace:
+        region = request.lba // (1024 * 1024)
+        to_card = (region * 2654435761 % 2**32) / 2**32 < offload_fraction
+        (external if to_card else internal).append(request)
+    return {
+        "internal": trace.with_requests(internal),
+        "external": trace.with_requests(external),
+    }
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    num_requests: Optional[int] = None,
+    app: str = "Facebook",
+    fractions: Sequence[float] = (0.0, 0.25, 0.5),
+) -> ExperimentResult:
+    """Overall MRT as more of the workload moves to the SD card."""
+    trace = generate_trace(app, seed=seed, num_requests=num_requests)
+    rows = []
+    data = {}
+    for fraction in fractions:
+        parts = split_trace(trace, fraction)
+        responses = []
+        for name, part in parts.items():
+            if len(part) == 0:
+                continue
+            config = four_ps() if name == "internal" else sdcard_config()
+            result = EmmcDevice(config).replay(part.without_timing())
+            responses.extend(result.stats.response_us)
+        mrt_ms = sum(responses) / len(responses) / 1000.0 if responses else 0.0
+        data[fraction] = mrt_ms
+        rows.append(
+            [f"{fraction * 100:.0f}%", len(parts["external"]), mrt_ms]
+        )
+    table = render_table(
+        ["Offloaded", "Requests on SDcard", "Overall MRT ms"],
+        rows,
+        title=f"{app}: moving I/O to an external SD card",
+    )
+    return ExperimentResult(
+        experiment_id="sdcard_study",
+        title="Implication 1: external SD card offloading degrades MRT",
+        table=table,
+        data={"mrt_by_fraction": data},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

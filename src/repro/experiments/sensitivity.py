@@ -1,0 +1,59 @@
+"""Extension study: load sensitivity of the three schemes.
+
+Fig. 8's biggest gains come from queue-heavy traces; this experiment makes
+that mechanism explicit by time-compressing a single trace (1x .. 16x the
+original arrival rate) and tracking each scheme's mean response time.  The
+expected shape: all schemes are equal-ish at light load, and the 4PS curve
+blows up first as the rate grows -- the queueing amplification behind the
+paper's 86 % Booting result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis import render_table
+from repro.workloads import DEFAULT_SEED, generate_trace
+from repro.workloads.scaling import scale_rate
+from repro.emmc import EmmcDevice, eight_ps, four_ps, hps
+
+from .common import ExperimentResult
+
+DEFAULT_FACTORS = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    num_requests: Optional[int] = None,
+    app: str = "Facebook",
+    factors: Sequence[float] = DEFAULT_FACTORS,
+) -> ExperimentResult:
+    """MRT vs arrival-rate multiplier for 4PS/8PS/HPS."""
+    base = generate_trace(app, seed=seed, num_requests=num_requests or 3000)
+    configs = {"4PS": four_ps(), "8PS": eight_ps(), "HPS": hps()}
+    curves: Dict[str, List[float]] = {name: [] for name in configs}
+    rows = []
+    for factor in factors:
+        trace = scale_rate(base, factor)
+        row = [f"{factor:g}x"]
+        for name, config in configs.items():
+            mrt = EmmcDevice(config).replay(trace.without_timing()).stats.mean_response_ms
+            curves[name].append(mrt)
+            row.append(mrt)
+        row.append(f"{(1 - curves['HPS'][-1] / curves['4PS'][-1]) * 100:.1f}%")
+        rows.append(row)
+    table = render_table(
+        ["Rate", "4PS MRT ms", "8PS MRT ms", "HPS MRT ms", "HPS vs 4PS"],
+        rows,
+        title=f"{app} time-compressed (queueing amplification)",
+    )
+    return ExperimentResult(
+        experiment_id="sensitivity",
+        title="Load sensitivity: MRT vs arrival-rate multiplier",
+        table=table,
+        data={"factors": list(factors), "curves": curves, "app": app},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

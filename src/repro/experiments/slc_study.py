@@ -1,0 +1,72 @@
+"""Extension study: HPS with SLC-mode small-page blocks (Implication 5).
+
+The paper suggests serving the dominant 4 KB requests from MLC blocks
+operated in SLC mode ("obtains an SLC-like performance ... at the cost of
+50 % capacity loss").  This experiment quantifies that trade on top of the
+HPS design: same die structure, the 4 KB pools run as SLC.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis import render_table
+from repro.workloads import DEFAULT_SEED
+from repro.emmc import EmmcDevice, four_ps, hps, hps_slc
+
+from .common import ExperimentResult, individual_traces
+
+DEFAULT_APPS = ("Twitter", "Messaging", "Facebook", "Booting", "Installing", "Movie")
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    num_requests: Optional[int] = None,
+    apps: Optional[List[str]] = None,
+) -> ExperimentResult:
+    """Compare 4PS, HPS and HPS-SLC on MRT; report the capacity cost."""
+    selected = list(apps) if apps is not None else list(DEFAULT_APPS)
+    configs = [four_ps(), hps(), hps_slc()]
+    traces = [
+        trace
+        for trace in individual_traces(seed=seed, num_requests=num_requests)
+        if trace.name in selected
+    ]
+    rows = []
+    mrt_data = {}
+    for trace in traces:
+        mrt = {}
+        for config in configs:
+            result = EmmcDevice(config).replay(trace.without_timing())
+            mrt[config.name] = result.stats.mean_response_ms
+        mrt_data[trace.name] = mrt
+        rows.append(
+            [
+                trace.name,
+                mrt["4PS"],
+                mrt["HPS"],
+                mrt["HPS-SLC"],
+                f"{(1 - mrt['HPS-SLC'] / mrt['HPS']) * 100:.1f}%",
+            ]
+        )
+    capacities = {
+        config.name: config.geometry.capacity_bytes() / 2**30 for config in configs
+    }
+    footer = (
+        "capacities: "
+        + ", ".join(f"{name}={gib:.0f} GiB" for name, gib in capacities.items())
+        + "  (SLC mode halves the small-page pools' capacity)"
+    )
+    table = render_table(
+        ["App", "4PS MRT ms", "HPS MRT ms", "HPS-SLC MRT ms", "SLC vs HPS"], rows
+    )
+    return ExperimentResult(
+        experiment_id="slc_study",
+        title="Implication 5 extension: SLC-mode small-page blocks",
+        table=table + "\n" + footer,
+        data={"mrt": mrt_data, "capacities_gib": capacities},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

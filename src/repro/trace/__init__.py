@@ -1,0 +1,27 @@
+"""Block-level I/O trace model, serialization and validation."""
+
+from .record import KIB, MIB, Op, Request, SECTOR, US_PER_MS, US_PER_S
+from .trace import Trace, merge
+from .blkparse import parse_blkparse
+from .io import dumps, loads, read_trace, write_trace
+from .validate import TraceValidationError, collect_problems, validate_trace
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "Op",
+    "Request",
+    "SECTOR",
+    "US_PER_MS",
+    "US_PER_S",
+    "Trace",
+    "merge",
+    "parse_blkparse",
+    "dumps",
+    "loads",
+    "read_trace",
+    "write_trace",
+    "TraceValidationError",
+    "collect_problems",
+    "validate_trace",
+]

@@ -1,0 +1,146 @@
+"""Import traces from Linux ``blkparse`` text output.
+
+BIOtracer is a custom kernel tracer, but most practitioners have
+``blktrace``/``blkparse`` logs.  This module converts standard blkparse
+text lines into :class:`~repro.trace.Trace` objects so real phone or
+desktop traces can be replayed on the simulated devices.
+
+A blkparse line looks like::
+
+    8,16   1   102     0.048367011  1234  Q  W  6130688 + 8 [app]
+    8,16   1   103     0.048374000  1234  D  W  6130688 + 8 [app]
+    8,16   1   104     0.048912000     0  C  W  6130688 + 8 [0]
+
+i.e. device major,minor; CPU; sequence; time (seconds); PID; action
+(``Q`` queue, ``D`` dispatch/issue, ``C`` complete, among others); RWBS
+flags; start sector ``+`` sector count; process name.  Sectors are 512
+bytes; we align to the 4 KB flash page like the file system does.
+
+``Q``/``D``/``C`` events are matched by (sector, op) to recover the three
+BIOtracer timestamps; unmatched events degrade gracefully (a ``Q`` without
+``D``/``C`` yields an un-replayed request).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+from .record import Op, Request, SECTOR, US_PER_S
+from .trace import Trace
+
+#: Sector size blkparse reports in.
+BLK_SECTOR = 512
+
+_LINE = re.compile(
+    r"^\s*\d+,\d+\s+\d+\s+\d+\s+"
+    r"(?P<time>\d+\.\d+)\s+"
+    r"(?P<pid>\d+)\s+"
+    r"(?P<action>[A-Z])\s+"
+    r"(?P<rwbs>[RWDSFNAMB]+)\s+"
+    r"(?P<sector>\d+)\s*\+\s*(?P<count>\d+)"
+)
+
+
+@dataclass
+class _Pending:
+    arrival_us: float
+    dispatch_us: Optional[float] = None
+
+
+def _parse_op(rwbs: str) -> Optional[Op]:
+    """Access type from the RWBS flags (None for non-data actions)."""
+    if "R" in rwbs:
+        return Op.READ
+    if "W" in rwbs:
+        return Op.WRITE
+    return None
+
+
+def _align_down(value: int) -> int:
+    return value - value % SECTOR
+
+
+def _align_up(value: int) -> int:
+    remainder = value % SECTOR
+    return value if remainder == 0 else value + SECTOR - remainder
+
+
+def parse_blkparse(source: Union[str, Path, TextIO], name: str = "blktrace") -> Trace:
+    """Parse blkparse text into a trace.
+
+    Args:
+        source: path or open text handle (or a literal string containing
+            newlines).
+        name: trace name.
+
+    Returns:
+        A trace whose requests carry all three timestamps when the
+        corresponding ``D`` and ``C`` events were present.
+    """
+    if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source):
+        with open(source) as handle:
+            return _parse(handle, name)
+    if isinstance(source, str):
+        return _parse(iter(source.splitlines()), name)
+    return _parse(source, name)
+
+
+def _parse(lines, name: str) -> Trace:
+    pending: Dict[Tuple[int, str], List[_Pending]] = {}
+    requests: List[Request] = []
+    for line in lines:
+        match = _LINE.match(line)
+        if not match:
+            continue
+        op = _parse_op(match.group("rwbs"))
+        if op is None:
+            continue
+        time_us = float(match.group("time")) * US_PER_S
+        sector = int(match.group("sector"))
+        count = int(match.group("count"))
+        if count <= 0:
+            continue
+        key = (sector, op.value)
+        action = match.group("action")
+        if action == "Q":
+            pending.setdefault(key, []).append(_Pending(arrival_us=time_us))
+        elif action == "D":
+            queue = pending.get(key)
+            if queue:
+                for item in queue:
+                    if item.dispatch_us is None:
+                        item.dispatch_us = time_us
+                        break
+        elif action == "C":
+            queue = pending.get(key, [])
+            item = queue.pop(0) if queue else None
+            if not queue:
+                pending.pop(key, None)
+            lba = _align_down(sector * BLK_SECTOR)
+            size = _align_up(count * BLK_SECTOR)
+            if item is None:
+                # Completion without a seen queue event: arrival unknown,
+                # record it as arriving when it completed.
+                requests.append(Request(time_us, lba, size, op, time_us, time_us))
+                continue
+            dispatch = item.dispatch_us if item.dispatch_us is not None else item.arrival_us
+            dispatch = max(dispatch, item.arrival_us)
+            finish = max(time_us, dispatch)
+            requests.append(
+                Request(item.arrival_us, lba, size, op, dispatch, finish)
+            )
+    # Q events never completed: keep as un-replayed requests.
+    for (sector, op_value), queue in pending.items():
+        for item in queue:
+            requests.append(
+                Request(
+                    item.arrival_us,
+                    _align_down(sector * BLK_SECTOR),
+                    SECTOR,
+                    Op.parse(op_value),
+                )
+            )
+    return Trace(name=name, requests=requests, metadata={"source": "blkparse"})

@@ -1,0 +1,108 @@
+"""Reading and writing traces as CSV files.
+
+The on-disk format is one header line, ``#``-prefixed metadata lines, then
+one row per request::
+
+    # name=Twitter
+    # seed=7
+    arrival_us,lba,size,op,service_start_us,finish_us
+    0.0,4096,4096,W,0.0,1385.0
+    ...
+
+Empty ``service_start_us``/``finish_us`` fields mean the trace has not been
+replayed on a device.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, TextIO, Union
+
+from .record import Op, Request
+from .trace import Trace
+
+_FIELDS = ["arrival_us", "lba", "size", "op", "service_start_us", "finish_us"]
+
+
+def write_trace(trace: Trace, destination: Union[str, Path, TextIO]) -> None:
+    """Write ``trace`` to ``destination`` (path or open text file)."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="") as handle:
+            _write(trace, handle)
+    else:
+        _write(trace, destination)
+
+
+def _write(trace: Trace, handle: TextIO) -> None:
+    handle.write(f"# name={trace.name}\n")
+    for key, value in sorted(trace.metadata.items()):
+        handle.write(f"# {key}={value}\n")
+    writer = csv.writer(handle)
+    writer.writerow(_FIELDS)
+    for request in trace:
+        writer.writerow(
+            [
+                repr(request.arrival_us),
+                request.lba,
+                request.size,
+                request.op.value,
+                "" if request.service_start_us is None else repr(request.service_start_us),
+                "" if request.finish_us is None else repr(request.finish_us),
+            ]
+        )
+
+
+def read_trace(source: Union[str, Path, TextIO]) -> Trace:
+    """Read a trace previously written by :func:`write_trace`."""
+    if isinstance(source, (str, Path)):
+        with open(source, newline="") as handle:
+            return _read(handle, default_name=Path(source).stem)
+    return _read(source, default_name="trace")
+
+
+def _read(handle: TextIO, default_name: str) -> Trace:
+    name = default_name
+    metadata = {}
+    body_lines: List[str] = []
+    for line in handle:
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            key, _, value = stripped.lstrip("# ").partition("=")
+            if key == "name":
+                name = value
+            elif key:
+                metadata[key] = value
+        elif stripped:
+            body_lines.append(line)
+    reader = csv.DictReader(io.StringIO("".join(body_lines)))
+    if reader.fieldnames != _FIELDS:
+        raise ValueError(f"unexpected trace header: {reader.fieldnames}")
+    requests = []
+    for row in reader:
+        requests.append(
+            Request(
+                arrival_us=float(row["arrival_us"]),
+                lba=int(row["lba"]),
+                size=int(row["size"]),
+                op=Op.parse(row["op"]),
+                service_start_us=float(row["service_start_us"])
+                if row["service_start_us"]
+                else None,
+                finish_us=float(row["finish_us"]) if row["finish_us"] else None,
+            )
+        )
+    return Trace(name=name, requests=requests, metadata=metadata)
+
+
+def dumps(trace: Trace) -> str:
+    """Serialize ``trace`` to a CSV string."""
+    buffer = io.StringIO()
+    _write(trace, buffer)
+    return buffer.getvalue()
+
+
+def loads(text: str) -> Trace:
+    """Parse a trace from a CSV string produced by :func:`dumps`."""
+    return _read(io.StringIO(text), default_name="trace")

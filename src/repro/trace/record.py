@@ -1,0 +1,174 @@
+"""Block-level I/O request records.
+
+The paper's BIOtracer records, for every block-layer request, three
+timestamps (see Fig. 2 of the paper):
+
+1. *arrival* -- when the request is created at the block layer,
+2. *service start* -- when the eMMC driver actually sends the request to
+   the device (i.e. after any queueing delay),
+3. *finish* -- when the device driver completes the request.
+
+Together with the logical address, the size and the access type these form
+one trace record.  All sizes are in bytes and must be multiples of the 4 KB
+flash page size (the paper notes that request sizes are aligned to 4 KB at
+the file-system level).  All timestamps are in microseconds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+#: Flash page size every request is aligned to at file-system level.
+SECTOR = 4096
+
+#: One kibibyte / mebibyte in bytes, used for readable constants.
+KIB = 1024
+MIB = 1024 * 1024
+
+#: Microseconds per second / millisecond, for timestamp conversions.
+US_PER_S = 1_000_000
+US_PER_MS = 1_000
+
+
+class Op(enum.Enum):
+    """Access type of a block request."""
+
+    READ = "R"
+    WRITE = "W"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @classmethod
+    def parse(cls, text: str) -> "Op":
+        """Parse ``"R"``/``"W"`` (case-insensitive, also accepts full words)."""
+        normalized = text.strip().upper()
+        if normalized in ("R", "READ"):
+            return cls.READ
+        if normalized in ("W", "WRITE"):
+            return cls.WRITE
+        raise ValueError(f"unknown access type: {text!r}")
+
+
+@dataclass(frozen=True)
+class Request:
+    """A single block-level I/O request.
+
+    Attributes:
+        arrival_us: arrival time at the block layer, microseconds.
+        lba: logical byte address of the first byte accessed; must be a
+            multiple of :data:`SECTOR`.
+        size: number of bytes accessed; positive multiple of :data:`SECTOR`.
+        op: access type, read or write.
+        service_start_us: time the request was dispatched to the device, or
+            ``None`` if the trace has not been replayed/collected on a device.
+        finish_us: completion time, or ``None`` as above.
+    """
+
+    arrival_us: float
+    lba: int
+    size: int
+    op: Op
+    service_start_us: Optional[float] = None
+    finish_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_us < 0:
+            raise ValueError(f"arrival_us must be >= 0, got {self.arrival_us}")
+        if self.lba < 0 or self.lba % SECTOR:
+            raise ValueError(f"lba must be a non-negative multiple of {SECTOR}")
+        if self.size <= 0 or self.size % SECTOR:
+            raise ValueError(f"size must be a positive multiple of {SECTOR}")
+        if self.service_start_us is not None and self.service_start_us < self.arrival_us:
+            raise ValueError("service_start_us precedes arrival_us")
+        if self.finish_us is not None:
+            if self.service_start_us is None:
+                raise ValueError("finish_us set without service_start_us")
+            if self.finish_us < self.service_start_us:
+                raise ValueError("finish_us precedes service_start_us")
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def end_lba(self) -> int:
+        """First byte address past the accessed range."""
+        return self.lba + self.size
+
+    @property
+    def pages(self) -> int:
+        """Number of 4 KB pages the request spans."""
+        return self.size // SECTOR
+
+    @property
+    def is_write(self) -> bool:
+        """True for write requests."""
+        return self.op is Op.WRITE
+
+    @property
+    def is_read(self) -> bool:
+        """True for read requests."""
+        return self.op is Op.READ
+
+    @property
+    def completed(self) -> bool:
+        """Whether the record carries device timestamps."""
+        return self.finish_us is not None
+
+    @property
+    def wait_us(self) -> float:
+        """Queueing delay between arrival and dispatch to the device."""
+        self._require_completed()
+        assert self.service_start_us is not None
+        return self.service_start_us - self.arrival_us
+
+    @property
+    def service_us(self) -> float:
+        """Device service time (dispatch to completion)."""
+        self._require_completed()
+        assert self.service_start_us is not None and self.finish_us is not None
+        return self.finish_us - self.service_start_us
+
+    @property
+    def response_us(self) -> float:
+        """End-to-end response time (arrival to completion)."""
+        self._require_completed()
+        assert self.finish_us is not None
+        return self.finish_us - self.arrival_us
+
+    @property
+    def no_wait(self) -> bool:
+        """True when the request was served immediately on arrival.
+
+        The paper's *NoWait Req. Ratio* (Table IV) is the fraction of
+        requests for which this holds.  A tiny tolerance absorbs float
+        round-off from the event engine.
+        """
+        self._require_completed()
+        return self.wait_us <= 1e-6
+
+    def _require_completed(self) -> None:
+        if self.finish_us is None:
+            raise ValueError("request has no device timestamps; replay the trace first")
+
+    # -- transformations ----------------------------------------------------
+
+    def with_timing(self, service_start_us: float, finish_us: float) -> "Request":
+        """Return a copy carrying device timestamps."""
+        return replace(self, service_start_us=service_start_us, finish_us=finish_us)
+
+    def without_timing(self) -> "Request":
+        """Return a copy stripped of device timestamps."""
+        return replace(self, service_start_us=None, finish_us=None)
+
+    def shifted(self, delta_us: float) -> "Request":
+        """Return a copy with all timestamps shifted by ``delta_us``."""
+        return replace(
+            self,
+            arrival_us=self.arrival_us + delta_us,
+            service_start_us=None
+            if self.service_start_us is None
+            else self.service_start_us + delta_us,
+            finish_us=None if self.finish_us is None else self.finish_us + delta_us,
+        )

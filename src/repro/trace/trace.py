@@ -1,0 +1,168 @@
+"""Trace container: an ordered collection of block-level requests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from .record import Op, Request, US_PER_S
+
+
+@dataclass
+class Trace:
+    """An ordered (by arrival time) sequence of requests plus metadata.
+
+    The paper's 25 traces are instances of this type: 18 individual
+    application traces and 7 combo traces.
+
+    Attributes:
+        name: short identifier, e.g. ``"Twitter"`` or ``"Music/WB"``.
+        requests: records sorted by arrival time.
+        metadata: free-form string metadata (e.g. generator seed, profile).
+    """
+
+    name: str
+    requests: List[Request] = field(default_factory=list)
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.requests = sorted(self.requests, key=lambda r: r.arrival_us)
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def __getitem__(self, index: int) -> Request:
+        return self.requests[index]
+
+    def __bool__(self) -> bool:
+        return bool(self.requests)
+
+    # -- basic aggregates ------------------------------------------------------
+
+    @property
+    def reads(self) -> List[Request]:
+        """The read requests, in arrival order."""
+        return [r for r in self.requests if r.is_read]
+
+    @property
+    def writes(self) -> List[Request]:
+        """The write requests, in arrival order."""
+        return [r for r in self.requests if r.is_write]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total size of data accessed (the paper's *Data Size*)."""
+        return sum(r.size for r in self.requests)
+
+    @property
+    def written_bytes(self) -> int:
+        """Total bytes written."""
+        return sum(r.size for r in self.writes)
+
+    @property
+    def read_bytes(self) -> int:
+        """Total bytes read."""
+        return sum(r.size for r in self.reads)
+
+    @property
+    def start_us(self) -> float:
+        """First arrival time (0 for an empty trace)."""
+        if not self.requests:
+            return 0.0
+        return self.requests[0].arrival_us
+
+    @property
+    def end_us(self) -> float:
+        """Last known event time (finish if replayed, else last arrival)."""
+        if not self.requests:
+            return 0.0
+        last_arrival = self.requests[-1].arrival_us
+        finishes = [r.finish_us for r in self.requests if r.finish_us is not None]
+        return max([last_arrival] + finishes)
+
+    @property
+    def duration_us(self) -> float:
+        """Recording duration, from first to last event."""
+        return self.end_us - self.start_us
+
+    @property
+    def duration_s(self) -> float:
+        """Recording duration in seconds."""
+        return self.duration_us / US_PER_S
+
+    @property
+    def completed(self) -> bool:
+        """True when every request carries device timestamps."""
+        return all(r.completed for r in self.requests)
+
+    def arrival_rate(self) -> float:
+        """Requests per second over the recording duration (Table IV)."""
+        if self.duration_us <= 0:
+            return 0.0
+        return len(self.requests) / self.duration_s
+
+    def access_rate_kib_s(self) -> float:
+        """Data accessed (read + write) per second, in KiB/s (Table IV)."""
+        if self.duration_us <= 0:
+            return 0.0
+        return self.total_bytes / 1024.0 / self.duration_s
+
+    def inter_arrival_us(self) -> List[float]:
+        """Successive arrival-time gaps, one per request after the first."""
+        arrivals = [r.arrival_us for r in self.requests]
+        return [b - a for a, b in zip(arrivals, arrivals[1:])]
+
+    # -- transformations -------------------------------------------------------
+
+    def filter(self, predicate: Callable[[Request], bool], name: Optional[str] = None) -> "Trace":
+        """Return a new trace with only requests satisfying ``predicate``."""
+        return Trace(
+            name=name or self.name,
+            requests=[r for r in self.requests if predicate(r)],
+            metadata=dict(self.metadata),
+        )
+
+    def only(self, op: Op) -> "Trace":
+        """Return the read-only or write-only sub-trace."""
+        return self.filter(lambda r: r.op is op, name=f"{self.name}[{op.value}]")
+
+    def window(self, start_us: float, end_us: float) -> "Trace":
+        """Return requests arriving in ``[start_us, end_us)``."""
+        return self.filter(lambda r: start_us <= r.arrival_us < end_us)
+
+    def without_timing(self) -> "Trace":
+        """Strip device timestamps (e.g. before replaying on another device)."""
+        return Trace(
+            name=self.name,
+            requests=[r.without_timing() for r in self.requests],
+            metadata=dict(self.metadata),
+        )
+
+    def rebased(self) -> "Trace":
+        """Shift timestamps so the first arrival is at time zero."""
+        delta = -self.start_us
+        return Trace(
+            name=self.name,
+            requests=[r.shifted(delta) for r in self.requests],
+            metadata=dict(self.metadata),
+        )
+
+    def with_requests(self, requests: Iterable[Request]) -> "Trace":
+        """Return a copy of this trace holding ``requests`` instead."""
+        return Trace(name=self.name, requests=list(requests), metadata=dict(self.metadata))
+
+
+def merge(name: str, *traces: Trace) -> Trace:
+    """Merge several traces into one ordered stream (timestamps untouched)."""
+    requests: List[Request] = []
+    metadata: Dict[str, str] = {}
+    for trace in traces:
+        requests.extend(trace.requests)
+        for key, value in trace.metadata.items():
+            metadata.setdefault(f"{trace.name}.{key}", value)
+    return Trace(name=name, requests=requests, metadata=metadata)

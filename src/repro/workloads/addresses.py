@@ -1,0 +1,115 @@
+"""Address-stream sampling calibrated to Table IV's locality columns.
+
+The paper defines (Section III-C):
+
+* *spatial locality* -- the fraction of requests whose starting address is
+  exactly the ending address of their predecessor (a sequential access);
+* *temporal locality* -- the fraction of requests that re-access an address
+  seen before (an address hit).
+
+The generator picks a per-request *access mode* -- sequential continuation
+(probability = the spatial target), address re-hit (probability = the
+temporal target), or a fresh random 4 KB-aligned address inside the
+application's footprint -- and this module turns the mode into a concrete
+address.  Because fresh addresses rarely collide inside a footprint much
+larger than the trace's data size, the measured localities converge to the
+targets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.trace import SECTOR
+
+
+class AccessMode(enum.Enum):
+    """How the next request's address relates to the history."""
+
+    SEQUENTIAL = "sequential"
+    TEMPORAL = "temporal"
+    FRESH = "fresh"
+
+
+@dataclass(frozen=True)
+class AddressModel:
+    """Locality targets plus the footprint fresh addresses are drawn from.
+
+    Attributes:
+        spatial: target fraction of sequential continuations, in [0, 1).
+        temporal: target fraction of address re-hits, in [0, 1).
+        footprint_start: first byte of the application's address region.
+        footprint_bytes: size of the region fresh addresses are drawn from.
+    """
+
+    spatial: float
+    temporal: float
+    footprint_start: int
+    footprint_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.spatial < 0 or self.temporal < 0 or self.spatial + self.temporal >= 1:
+            raise ValueError("spatial + temporal locality must stay below 1")
+        if self.footprint_start % SECTOR or self.footprint_bytes % SECTOR:
+            raise ValueError("footprint must be 4KB-aligned")
+        if self.footprint_bytes <= 0:
+            raise ValueError("footprint must be non-empty")
+
+    def choose_mode(self, rng: np.random.Generator) -> AccessMode:
+        """Draw an access mode with the target locality probabilities."""
+        draw = rng.random()
+        if draw < self.spatial:
+            return AccessMode.SEQUENTIAL
+        if draw < self.spatial + self.temporal:
+            return AccessMode.TEMPORAL
+        return AccessMode.FRESH
+
+    def sampler(self, rng: np.random.Generator) -> "AddressSampler":
+        """A stateful address stream over this model."""
+        return AddressSampler(self, rng)
+
+
+class AddressSampler:
+    """Stateful per-trace address stream (keeps history for re-hits)."""
+
+    def __init__(self, model: AddressModel, rng: np.random.Generator) -> None:
+        self._model = model
+        self._rng = rng
+        self._history: List[int] = []
+        self._previous_end: Optional[int] = None
+
+    @property
+    def previous_end(self) -> Optional[int]:
+        """End address of the previous request, if any."""
+        return self._previous_end
+
+    def next_address(self, mode: AccessMode, size: int) -> int:
+        """Return the start address for the next request of ``size`` bytes.
+
+        Falls back to a fresh address when the mode is not realizable (no
+        predecessor / empty history / sequential run would leave the
+        footprint).
+        """
+        model = self._model
+        if mode is AccessMode.SEQUENTIAL and self._previous_end is not None:
+            address = self._previous_end
+        elif mode is AccessMode.TEMPORAL and self._history:
+            address = self._history[int(self._rng.integers(len(self._history)))]
+        else:
+            address = self._fresh_address(size)
+        limit = model.footprint_start + model.footprint_bytes
+        if address + size > limit:
+            address = self._fresh_address(size)
+        self._history.append(address)
+        self._previous_end = address + size
+        return address
+
+    def _fresh_address(self, size: int) -> int:
+        model = self._model
+        span_pages = max(1, (model.footprint_bytes - size) // SECTOR)
+        offset_pages = int(self._rng.integers(span_pages))
+        return model.footprint_start + offset_pages * SECTOR

@@ -1,0 +1,64 @@
+"""Trace transformations for sensitivity studies.
+
+The paper's workloads stress the device lightly (Characteristic 3); these
+utilities let experiments ask "what if the same I/O arrived k times
+faster/slower?" or "what if requests were twice as large?" without
+re-calibrating profiles.
+"""
+
+from __future__ import annotations
+
+from repro.trace import Request, SECTOR, Trace
+
+
+def scale_rate(trace: Trace, factor: float) -> Trace:
+    """Compress (factor > 1) or stretch (factor < 1) the arrival times.
+
+    The request mix is untouched; only inter-arrival gaps scale by
+    ``1 / factor``, so the arrival rate scales by ``factor``.
+    """
+    if factor <= 0:
+        raise ValueError("rate factor must be positive")
+    return Trace(
+        name=f"{trace.name}[x{factor:g}]",
+        requests=[
+            Request(
+                arrival_us=request.arrival_us / factor,
+                lba=request.lba,
+                size=request.size,
+                op=request.op,
+            )
+            for request in trace
+        ],
+        metadata={**trace.metadata, "rate_factor": f"{factor:g}"},
+    )
+
+
+def scale_sizes(trace: Trace, factor: float, max_bytes: int = 16 * 1024 * 1024) -> Trace:
+    """Scale request sizes by ``factor`` (4 KB-aligned, at least one page)."""
+    if factor <= 0:
+        raise ValueError("size factor must be positive")
+    requests = []
+    for request in trace:
+        pages = max(1, round(request.pages * factor))
+        size = min(pages * SECTOR, max_bytes - max_bytes % SECTOR)
+        requests.append(
+            Request(
+                arrival_us=request.arrival_us,
+                lba=request.lba,
+                size=size,
+                op=request.op,
+            )
+        )
+    return Trace(
+        name=f"{trace.name}[size x{factor:g}]",
+        requests=requests,
+        metadata={**trace.metadata, "size_factor": f"{factor:g}"},
+    )
+
+
+def truncate(trace: Trace, num_requests: int) -> Trace:
+    """Keep only the first ``num_requests`` requests."""
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    return trace.with_requests(trace.requests[:num_requests])

@@ -1,0 +1,94 @@
+"""Unit tests for the characteristic checks on crafted trace sets."""
+
+import pytest
+
+from repro.trace import KIB, Op, Request, Trace, US_PER_S
+from repro.analysis import (
+    characteristic_1,
+    characteristic_2,
+    characteristic_5,
+    characteristic_6,
+)
+
+
+def _uniform_trace(name, n, size, write_frac, gap_us, lba_step=None):
+    step = lba_step if lba_step is not None else size
+    requests = []
+    for i in range(n):
+        op = Op.WRITE if i < n * write_frac else Op.READ
+        requests.append(Request(i * gap_us, (i * step) % (1 << 30), size, op))
+    return Trace(name, requests)
+
+
+def _write_heavy_set():
+    return [
+        _uniform_trace(f"app{i}", 100, 4 * KIB, 0.95 if i < 16 else 0.2, 1000.0)
+        for i in range(18)
+    ]
+
+
+class TestCharacteristic1:
+    def test_holds_on_write_heavy_set(self):
+        result = characteristic_1(_write_heavy_set())
+        assert result.holds
+        assert result.evidence["write_dominant_traces"] == 16
+
+    def test_fails_on_read_heavy_set(self):
+        traces = [_uniform_trace(f"a{i}", 50, 4 * KIB, 0.1, 1000.0) for i in range(18)]
+        assert not characteristic_1(traces).holds
+
+
+class TestCharacteristic2:
+    def test_holds_with_half_4k(self):
+        traces = []
+        for i in range(18):
+            requests = [
+                Request(j * 1000.0, j * 64 * KIB, 4 * KIB if j % 2 else 32 * KIB, Op.WRITE)
+                for j in range(100)
+            ]
+            traces.append(Trace(f"a{i}", requests))
+        assert characteristic_2(traces).holds
+
+    def test_fails_with_all_large(self):
+        traces = [_uniform_trace(f"a{i}", 50, 64 * KIB, 0.9, 1000.0) for i in range(18)]
+        assert not characteristic_2(traces).holds
+
+
+class TestCharacteristic5:
+    def test_holds_on_random_addresses(self):
+        # Non-adjacent strides: no sequentiality, no re-hits, some temporal
+        # from wrapping is absent with distinct addresses.
+        traces = [
+            _uniform_trace(f"a{i}", 100, 4 * KIB, 0.9, 1000.0, lba_step=64 * KIB)
+            for i in range(18)
+        ]
+        result = characteristic_5(traces)
+        assert result.evidence["mean_spatial"] == 0.0
+        # mean temporal == mean spatial == 0 -> "spatial < temporal" fails.
+        assert not result.holds
+
+    def test_holds_with_moderate_temporal(self):
+        traces = []
+        for i in range(18):
+            requests = [
+                Request(j * 1000.0, (j % 3) * 64 * KIB, 4 * KIB, Op.WRITE)
+                for j in range(100)
+            ]
+            traces.append(Trace(f"a{i}", requests))
+        result = characteristic_5(traces)
+        assert result.holds  # no sequentiality, strong re-hits
+
+
+class TestCharacteristic6:
+    def test_holds_with_long_gaps(self):
+        traces = [
+            _uniform_trace(f"a{i}", 60, 4 * KIB, 0.9, 0.3 * US_PER_S)
+            for i in range(18)
+        ]
+        result = characteristic_6(traces)
+        assert result.holds
+        assert result.evidence["mean_iat_above_200ms"] == 18
+
+    def test_fails_with_dense_arrivals(self):
+        traces = [_uniform_trace(f"a{i}", 60, 4 * KIB, 0.9, 100.0) for i in range(18)]
+        assert not characteristic_6(traces).holds

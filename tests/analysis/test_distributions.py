@@ -1,0 +1,60 @@
+"""Unit tests for distribution computations (Figs. 4-7)."""
+
+import pytest
+
+from repro.trace import KIB, Op, Request, Trace, US_PER_MS
+from repro.analysis import (
+    interarrival_distribution,
+    long_gap_share,
+    response_distribution,
+    size_distribution,
+    small_request_share,
+)
+
+
+class TestSizeDistribution:
+    def test_buckets(self, small_trace):
+        dist = size_distribution(small_trace)
+        assert dist["<=4K"] == pytest.approx(3 / 5)
+        assert dist["8K"] == pytest.approx(1 / 5)
+        assert dist["(8K,16K]"] == pytest.approx(1 / 5)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_small_request_share(self, small_trace):
+        assert small_request_share(small_trace) == pytest.approx(0.6)
+
+
+class TestResponseDistribution:
+    def test_only_completed_counted(self, completed_trace):
+        dist = response_distribution(completed_trace)
+        # Responses 1.0, 1.5, 0.4 ms: all <= 2 ms.
+        assert dist["<=2ms"] == pytest.approx(1.0)
+
+    def test_uncompleted_gives_zeros(self, small_trace):
+        dist = response_distribution(small_trace)
+        assert all(v == 0.0 for v in dist.values())
+
+
+class TestInterarrivalDistribution:
+    def test_gap_buckets(self):
+        arrivals = [0.0, 0.5, 3.0, 30.0, 1000.0]  # ms
+        trace = Trace("t", [
+            Request(at * US_PER_MS, i * 4 * KIB, 4 * KIB, Op.WRITE)
+            for i, at in enumerate(arrivals)
+        ])
+        dist = interarrival_distribution(trace)
+        assert dist["<=1ms"] == pytest.approx(0.25)
+        assert dist["(1,4]ms"] == pytest.approx(0.25)
+        assert dist["(16,64]ms"] == pytest.approx(0.25)
+        assert dist[">256ms"] == pytest.approx(0.25)
+
+    def test_long_gap_share(self):
+        trace = Trace("t", [
+            Request(at, i * 4 * KIB, 4 * KIB, Op.WRITE)
+            for i, at in enumerate([0.0, 1000.0, 50_000.0])
+        ])
+        # Gaps 1 ms and 49 ms: one of two above 16 ms.
+        assert long_gap_share(trace) == pytest.approx(0.5)
+
+    def test_long_gap_share_empty(self):
+        assert long_gap_share(Trace("e")) == 0.0

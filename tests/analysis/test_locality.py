@@ -1,0 +1,56 @@
+"""Unit tests for the locality measures (paper Section III-C definitions)."""
+
+import pytest
+
+from repro.trace import Op, Request, Trace
+from repro.analysis import measure, spatial_locality, temporal_locality
+
+
+def _trace(specs):
+    return Trace("t", [
+        Request(float(i) * 100, lba, size, Op.WRITE) for i, (lba, size) in enumerate(specs)
+    ])
+
+
+class TestSpatial:
+    def test_pure_sequential_stream(self):
+        trace = _trace([(0, 4096), (4096, 4096), (8192, 8192), (16384, 4096)])
+        # 3 of 4 requests continue their predecessor.
+        assert spatial_locality(trace) == pytest.approx(0.75)
+
+    def test_random_stream(self):
+        trace = _trace([(0, 4096), (81920, 4096), (40960, 4096)])
+        assert spatial_locality(trace) == 0.0
+
+    def test_gap_breaks_sequentiality(self):
+        trace = _trace([(0, 4096), (8192, 4096)])
+        assert spatial_locality(trace) == 0.0
+
+    def test_empty(self):
+        assert spatial_locality(Trace("e")) == 0.0
+
+
+class TestTemporal:
+    def test_rehit_counted_every_time(self):
+        trace = _trace([(0, 4096), (0, 4096), (0, 4096)])
+        assert temporal_locality(trace) == pytest.approx(2 / 3)
+
+    def test_distinct_addresses_no_hits(self):
+        trace = _trace([(0, 4096), (4096, 4096), (8192, 4096)])
+        assert temporal_locality(trace) == 0.0
+
+    def test_hit_requires_same_start_address(self):
+        # Overlap without identical start is not an address hit.
+        trace = _trace([(0, 8192), (4096, 4096)])
+        assert temporal_locality(trace) == 0.0
+
+    def test_empty(self):
+        assert temporal_locality(Trace("e")) == 0.0
+
+
+class TestMeasure:
+    def test_bundles_both(self, small_trace):
+        localities = measure(small_trace)
+        assert localities.spatial == spatial_locality(small_trace)
+        assert localities.temporal == temporal_locality(small_trace)
+        assert localities.spatial_pct == 100 * localities.spatial

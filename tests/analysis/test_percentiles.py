@@ -1,0 +1,56 @@
+"""Unit tests for latency percentile utilities."""
+
+import pytest
+
+from repro.trace import Op, Request, Trace
+from repro.analysis.percentiles import (
+    cdf,
+    response_percentiles_ms,
+    service_percentiles_ms,
+)
+
+
+def _trace(responses_ms):
+    requests = [
+        Request(i * 10_000.0, 0, 4096, Op.READ,
+                service_start_us=i * 10_000.0 + 100.0,
+                finish_us=i * 10_000.0 + ms * 1000.0)
+        for i, ms in enumerate(responses_ms)
+    ]
+    return Trace("p", requests)
+
+
+class TestPercentiles:
+    def test_median_of_uniform(self):
+        trace = _trace([1, 2, 3, 4, 5])
+        result = response_percentiles_ms(trace, [50.0])
+        assert result[50.0] == pytest.approx(3.0)
+
+    def test_tail_percentiles_ordered(self):
+        trace = _trace(list(range(1, 101)))
+        result = response_percentiles_ms(trace)
+        assert result[50.0] < result[90.0] < result[95.0] < result[99.0]
+
+    def test_service_excludes_wait(self):
+        trace = _trace([2.0])
+        service = service_percentiles_ms(trace, [50.0])[50.0]
+        response = response_percentiles_ms(trace, [50.0])[50.0]
+        assert service == pytest.approx(response - 0.1)
+
+    def test_empty_trace(self):
+        assert response_percentiles_ms(Trace("e"))[50.0] == 0.0
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            response_percentiles_ms(_trace([1.0]), [120.0])
+
+
+class TestCdf:
+    def test_points(self):
+        points = cdf([3.0, 1.0, 2.0])
+        assert points == [(1.0, pytest.approx(1 / 3)),
+                          (2.0, pytest.approx(2 / 3)),
+                          (3.0, pytest.approx(1.0))]
+
+    def test_empty(self):
+        assert cdf([]) == []

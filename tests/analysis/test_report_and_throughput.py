@@ -1,0 +1,87 @@
+"""Unit tests for report rendering and the throughput sweep (Fig. 3)."""
+
+import pytest
+
+from repro.trace import KIB, Op
+from repro.analysis import (
+    measure_throughput,
+    render_histogram_table,
+    render_table,
+    throughput_curves,
+    trace_throughput_by_size,
+)
+from repro.emmc import small_four_ps
+from repro.trace import Request, Trace
+
+
+class TestRenderTable:
+    def test_alignment_and_floats(self):
+        text = render_table(["A", "Bee"], [["x", 1.234], ["yy", 10.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.23" in text
+        assert "10.00" in text
+
+    def test_bools(self):
+        text = render_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_histogram_table(self):
+        text = render_histogram_table(
+            ["app"], [{"<=4K": 0.5, "8K": 0.5}], title="H"
+        )
+        assert "50.00" in text
+        assert text.startswith("H")
+
+    def test_histogram_table_empty(self):
+        assert render_histogram_table([], [], title="H") == "H"
+
+
+class TestThroughputSweep:
+    def test_monotone_increasing_read_curve(self):
+        points = measure_throughput(
+            small_four_ps(), Op.READ, [4 * KIB, 16 * KIB, 64 * KIB],
+            total_bytes_per_point=2 * 1024 * KIB,
+        )
+        rates = [p.mb_per_s for p in points]
+        assert rates == sorted(rates)
+
+    def test_read_faster_than_write(self):
+        sizes = [4 * KIB, 64 * KIB]
+        reads = measure_throughput(small_four_ps(), Op.READ, sizes,
+                                   total_bytes_per_point=1024 * KIB)
+        writes = measure_throughput(small_four_ps(), Op.WRITE, sizes,
+                                    total_bytes_per_point=1024 * KIB)
+        for read_point, write_point in zip(reads, writes):
+            assert read_point.mb_per_s > write_point.mb_per_s
+
+    def test_curves_shape(self):
+        sizes = [4 * KIB, 32 * KIB]
+        curves = throughput_curves(
+            small_four_ps(), read_sizes=sizes, write_sizes=sizes,
+            total_bytes_per_point=1024 * KIB,
+        )
+        assert {"read", "write"} == set(curves)
+        assert len(curves["read"]) == 2
+
+
+class TestTraceThroughput:
+    def test_per_size_rates(self):
+        trace = Trace("t", [
+            Request(0.0, 0, 4 * KIB, Op.READ, service_start_us=0.0, finish_us=400.0),
+            Request(1000.0, 0, 4 * KIB, Op.READ, service_start_us=1000.0, finish_us=1400.0),
+            Request(2000.0, 0, 8 * KIB, Op.READ, service_start_us=2000.0, finish_us=2500.0),
+        ])
+        rates = trace_throughput_by_size([trace], Op.READ)
+        assert rates[4 * KIB] == pytest.approx(4096 / 400)
+        assert rates[8 * KIB] == pytest.approx(8192 / 500)
+
+    def test_filters_by_op(self):
+        trace = Trace("t", [
+            Request(0.0, 0, 4 * KIB, Op.WRITE, service_start_us=0.0, finish_us=400.0),
+        ])
+        assert trace_throughput_by_size([trace], Op.READ) == {}

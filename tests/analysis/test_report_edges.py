@@ -1,0 +1,32 @@
+"""Additional rendering edge cases."""
+
+from repro.analysis import render_histogram_table, render_table
+
+
+class TestRenderEdges:
+    def test_no_title(self):
+        text = render_table(["a"], [[1]])
+        assert text.splitlines()[0].strip() == "a"
+
+    def test_no_rows(self):
+        text = render_table(["col1", "col2"], [])
+        lines = text.splitlines()
+        assert len(lines) == 2  # header + separator only
+
+    def test_wide_cells_stretch_columns(self):
+        text = render_table(["x"], [["a-very-long-cell-value"]])
+        header, separator, row = text.splitlines()
+        assert len(header) == len(row)
+        assert len(separator) == len(row)
+
+    def test_mixed_types(self):
+        text = render_table(["v"], [[True], [1.5], [3], ["s"]])
+        assert "yes" in text and "1.50" in text and "3" in text and "s" in text
+
+    def test_histogram_table_missing_keys_default_zero(self):
+        text = render_histogram_table(
+            ["a", "b"],
+            [{"x": 1.0, "y": 0.0}, {"x": 0.25}],  # second lacks "y"
+        )
+        assert "25.00" in text
+        assert "0.00" in text

@@ -1,0 +1,53 @@
+"""Unit tests for size/timing statistics (Tables III/IV computations)."""
+
+import pytest
+
+from repro.trace import KIB, Op, Request, Trace
+from repro.analysis import size_stats, timing_stats
+
+
+class TestSizeStats:
+    def test_all_columns(self, small_trace):
+        stats = size_stats(small_trace)
+        assert stats.num_requests == 5
+        assert stats.data_size_kib == pytest.approx(36.0)
+        assert stats.max_size_kib == 16.0
+        assert stats.avg_size_kib == pytest.approx(36.0 / 5)
+        assert stats.avg_read_kib == pytest.approx((4 + 16) / 2)
+        assert stats.avg_write_kib == pytest.approx((8 + 4 + 4) / 3)
+        assert stats.write_req_pct == pytest.approx(60.0)
+        assert stats.write_size_pct == pytest.approx(100.0 * 16 / 36)
+
+    def test_empty_trace(self):
+        stats = size_stats(Trace("e"))
+        assert stats.num_requests == 0
+        assert stats.avg_size_kib == 0.0
+
+    def test_read_only_trace(self):
+        trace = Trace("r", [Request(0.0, 0, 4 * KIB, Op.READ)])
+        stats = size_stats(trace)
+        assert stats.avg_write_kib == 0.0
+        assert stats.write_req_pct == 0.0
+
+
+class TestTimingStats:
+    def test_device_columns(self, completed_trace):
+        stats = timing_stats(completed_trace)
+        # Requests: waits 0, 500, 0 -> 2/3 no-wait.
+        assert stats.nowait_pct == pytest.approx(100 * 2 / 3)
+        # Services: 1000, 1000, 400 us.
+        assert stats.mean_service_ms == pytest.approx(0.8)
+        # Responses: 1000, 1500, 400 us.
+        assert stats.mean_response_ms == pytest.approx(2900 / 3 / 1000)
+
+    def test_trace_intrinsic_columns(self, completed_trace):
+        stats = timing_stats(completed_trace)
+        assert stats.duration_s == pytest.approx(5.4e-3)
+        assert stats.arrival_rate == pytest.approx(3 / 5.4e-3)
+        assert stats.mean_interarrival_ms == pytest.approx(2.5)
+
+    def test_uncompleted_trace_zeroes_device_columns(self, small_trace):
+        stats = timing_stats(small_trace)
+        assert stats.nowait_pct == 0.0
+        assert stats.mean_response_ms == 0.0
+        assert stats.spatial_locality_pct >= 0.0

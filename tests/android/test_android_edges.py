@@ -1,0 +1,81 @@
+"""Edge cases across the Android stack package."""
+
+import numpy as np
+import pytest
+
+from repro.trace import KIB, MIB
+from repro.android import (
+    AndroidStack,
+    AppOp,
+    AppOpType,
+    Ext4Layer,
+    FileOp,
+    FileOpType,
+    SQLiteLayer,
+)
+from repro.emmc import EmmcDevice, four_ps
+
+
+class TestAppOpValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            AppOp(-1.0, AppOpType.FILE_READ, "f", nbytes=4 * KIB)
+
+    def test_zero_size_rejected_for_data_ops(self):
+        with pytest.raises(ValueError):
+            AppOp(0.0, AppOpType.FILE_WRITE, "f", nbytes=0)
+
+    def test_fsync_needs_no_size(self):
+        op = AppOp(0.0, AppOpType.FSYNC, "f")
+        assert op.nbytes == 0
+
+
+class TestSqliteEdges:
+    def test_empty_stats_write_amplification(self, rng):
+        assert SQLiteLayer(rng).stats.write_amplification == 1.0
+
+    def test_db_grows_monotonically(self, rng):
+        sqlite = SQLiteLayer(rng)
+        for _ in range(5):
+            sqlite.lower(AppOp(0.0, AppOpType.DB_TRANSACTION, "g.db", nbytes=8 * KIB))
+        assert sqlite._db_pages["g.db"] >= 10
+
+
+class TestExt4Edges:
+    def test_read_before_any_write_allocates(self):
+        ext4 = Ext4Layer(device_bytes=32 * 1024 * MIB)
+        ios = ext4.lower(FileOp(0.0, FileOpType.READ, "never-written",
+                                offset=0, nbytes=8 * KIB))
+        assert sum(io.nbytes for io in ios) == 8 * KIB
+
+    def test_sparse_write_far_into_file(self):
+        ext4 = Ext4Layer(device_bytes=32 * 1024 * MIB)
+        ios = ext4.lower(FileOp(0.0, FileOpType.WRITE, "sparse",
+                                offset=10 * MIB, nbytes=4 * KIB))
+        data = [io for io in ios if io.nbytes >= 4 * KIB]
+        assert data  # the range up to the offset was materialized
+
+
+class TestStackEdges:
+    def test_fsync_on_untouched_file_is_cheap(self):
+        stack = AndroidStack(EmmcDevice(four_ps()), name="t")
+        stack.handle_op(AppOp(0.0, AppOpType.FSYNC, "ghost"))
+        # Only the journal commit reaches the device (no data to flush).
+        trace = stack.tracer.trace()
+        assert len(trace) <= 2
+
+    def test_explicit_offset_write(self):
+        stack = AndroidStack(EmmcDevice(four_ps()), name="t")
+        stack.handle_op(AppOp(0.0, AppOpType.FILE_WRITE, "f",
+                              nbytes=4 * KIB, offset=64 * KIB))
+        stack.handle_op(AppOp(1.0, AppOpType.FSYNC, "f"))
+        assert len(stack.tracer.trace()) > 0
+
+    def test_run_ops_sorts_by_time(self):
+        stack = AndroidStack(EmmcDevice(four_ps()), name="t")
+        result = stack.run_ops([
+            AppOp(5000.0, AppOpType.DB_TRANSACTION, "a.db", nbytes=4 * KIB),
+            AppOp(0.0, AppOpType.DB_TRANSACTION, "a.db", nbytes=4 * KIB),
+        ])
+        arrivals = [r.arrival_us for r in result.trace]
+        assert arrivals == sorted(arrivals)

@@ -1,0 +1,107 @@
+"""Property-based tests for the Android stack layers (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import KIB, MIB, SECTOR
+from repro.android import Ext4Layer, FileOp, FileOpType, PageCache
+from repro.android.page_cache import _runs
+
+file_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write", "sync"]),
+        st.sampled_from(["a", "b", "c"]),  # path
+        st.integers(min_value=0, max_value=64),  # page offset
+        st.integers(min_value=1, max_value=16),  # pages
+        st.booleans(),  # sync flag for writes
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _to_op(index, kind, path, page, pages, sync):
+    at = float(index) * 1000.0
+    if kind == "read":
+        return FileOp(at, FileOpType.READ, path, offset=page * SECTOR,
+                      nbytes=pages * SECTOR)
+    if kind == "write":
+        return FileOp(at, FileOpType.WRITE, path, offset=page * SECTOR,
+                      nbytes=pages * SECTOR, sync=sync)
+    return FileOp(at, FileOpType.SYNC, path)
+
+
+@given(ops=file_ops)
+@settings(max_examples=50, deadline=None)
+def test_page_cache_conserves_dirty_pages(ops):
+    """Every page written either remains dirty in the cache or was flushed
+    to the file system; nothing is lost or duplicated per flush."""
+    cache = PageCache(writeback_interval_us=1e12, dirty_limit_pages=10**6)
+    written = {}  # path -> set of dirty page indices expected
+    flushed_pages = {}
+    for index, spec in enumerate(ops):
+        op = _to_op(index, *spec)
+        out = cache.handle(op)
+        if op.op_type is FileOpType.WRITE and not op.sync:
+            written.setdefault(op.path, set()).update(
+                range(op.offset // SECTOR, (op.offset + op.nbytes) // SECTOR)
+            )
+        for emitted in out:
+            if emitted.op_type is FileOpType.WRITE and not emitted.sync:
+                flushed_pages.setdefault(emitted.path, set()).update(
+                    range(emitted.offset // SECTOR,
+                          (emitted.offset + emitted.nbytes) // SECTOR)
+                )
+    # Final writeback drains everything still dirty.
+    for emitted in cache.writeback(1e9):
+        flushed_pages.setdefault(emitted.path, set()).update(
+            range(emitted.offset // SECTOR, (emitted.offset + emitted.nbytes) // SECTOR)
+        )
+    for path, pages in written.items():
+        assert pages <= flushed_pages.get(path, set()), path
+
+
+@given(pages=st.lists(st.integers(min_value=0, max_value=100), unique=True))
+@settings(max_examples=60)
+def test_runs_partition_pages(pages):
+    runs = _runs(sorted(pages))
+    covered = []
+    for start, length in runs:
+        covered.extend(range(start, start + length))
+    assert covered == sorted(pages)
+    # Runs are maximal: no two adjacent runs touch.
+    for (s1, l1), (s2, _) in zip(runs, runs[1:]):
+        assert s1 + l1 < s2
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b"]),
+            st.integers(min_value=0, max_value=50),
+            st.integers(min_value=1, max_value=8),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_ext4_reads_resolve_written_ranges(ops):
+    """Whatever was written can be read back at the same block addresses."""
+    ext4 = Ext4Layer(device_bytes=32 * 1024 * MIB)
+    mapping = {}
+    for index, (path, page, pages) in enumerate(ops):
+        write = FileOp(float(index), FileOpType.WRITE, path,
+                       offset=page * SECTOR, nbytes=pages * SECTOR)
+        ios = [io for io in ext4.lower(write) if io.nbytes >= pages * 0]
+        data_ios = [io for io in ext4.lower(
+            FileOp(float(index) + 0.5, FileOpType.READ, path,
+                   offset=page * SECTOR, nbytes=pages * SECTOR)
+        )]
+        key = (path, page, pages)
+        lbas = tuple(io.lba for io in data_ios)
+        if key in mapping:
+            assert mapping[key] == lbas  # stable mapping
+        mapping[key] = lbas
+        total = sum(io.nbytes for io in data_ios)
+        assert total == pages * SECTOR

@@ -1,0 +1,119 @@
+"""Tests for BIOtracer and the assembled Android stack."""
+
+import pytest
+
+from repro.trace import KIB, Op, Request
+from repro.android import (
+    ARCHETYPES,
+    AndroidStack,
+    BIOTracer,
+    RECORDS_PER_BUFFER,
+    app_model,
+    collect_trace,
+)
+from repro.android.fileops import AppOp, AppOpType
+from repro.emmc import EmmcDevice, four_ps
+
+
+def _completed(at=0.0, lba=0):
+    return Request(at, lba, 4 * KIB, Op.WRITE, service_start_us=at, finish_us=at + 100)
+
+
+class TestBIOTracer:
+    def test_flush_every_buffer_fill(self):
+        tracer = BIOTracer(name="t")
+        flushes = 0
+        for i in range(2 * RECORDS_PER_BUFFER):
+            extra = tracer.record(_completed(at=float(i)))
+            if extra:
+                flushes += 1
+                assert len(extra) == 6
+        assert flushes == 2
+        assert tracer.stats.flushes == 2
+
+    def test_overhead_ratio_about_two_percent(self):
+        tracer = BIOTracer(name="t")
+        for i in range(10 * RECORDS_PER_BUFFER):
+            tracer.record(_completed(at=float(i)))
+        assert tracer.stats.overhead_ratio == pytest.approx(0.02, abs=0.002)
+
+    def test_rejects_uncompleted(self):
+        tracer = BIOTracer(name="t")
+        with pytest.raises(ValueError):
+            tracer.record(Request(0.0, 0, 4 * KIB, Op.WRITE))
+
+    def test_trace_excludes_monitor_ios(self):
+        tracer = BIOTracer(name="t")
+        for i in range(RECORDS_PER_BUFFER):
+            tracer.record(_completed(at=float(i)))
+        assert len(tracer.trace()) == RECORDS_PER_BUFFER
+
+
+class TestAppModels:
+    def test_all_18_have_archetypes(self):
+        assert len(ARCHETYPES) == 18
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            app_model("Nope")
+
+    def test_ops_sorted_and_bounded(self, rng):
+        ops = app_model("Messaging").ops(60_000_000.0, rng)
+        times = [op.at_us for op in ops]
+        assert times == sorted(times)
+        assert all(0 <= t for t in times)
+
+
+class TestStack:
+    def test_db_transaction_reaches_device(self):
+        stack = AndroidStack(EmmcDevice(four_ps()), name="t")
+        stack.handle_op(AppOp(0.0, AppOpType.DB_TRANSACTION, "a.db", nbytes=4 * KIB))
+        trace = stack.tracer.trace()
+        assert len(trace) > 0
+        assert all(r.completed for r in trace)
+        assert trace.written_bytes > 4 * KIB  # journaling amplification
+
+    def test_async_file_write_deferred_until_writeback(self):
+        stack = AndroidStack(EmmcDevice(four_ps()), name="t")
+        stack.handle_op(AppOp(0.0, AppOpType.FILE_WRITE, "cache/x", nbytes=16 * KIB))
+        assert len(stack.tracer.trace()) == 0  # buffered in page cache
+        stack.handle_op(AppOp(0.0, AppOpType.FSYNC, "cache/x"))
+        assert len(stack.tracer.trace()) > 0
+
+    def test_collect_trace_end_to_end(self):
+        result = collect_trace("Messaging", duration_s=60, seed=3)
+        assert len(result.trace) > 10
+        stats = result.sqlite_stats
+        assert stats.write_amplification >= 2.0
+        # Messaging is write-dominant at block level (Characteristic 1).
+        writes = sum(1 for r in result.trace if r.is_write)
+        assert writes / len(result.trace) > 0.6
+
+    def test_camera_produces_large_packed_writes(self):
+        result = collect_trace("CameraVideo", duration_s=60, seed=3)
+        assert max(r.size for r in result.trace) >= 512 * KIB
+
+    def test_deterministic_per_seed(self):
+        first = collect_trace("Messaging", duration_s=30, seed=5)
+        second = collect_trace("Messaging", duration_s=30, seed=5)
+        assert [(r.lba, r.size) for r in first.trace] == [
+            (r.lba, r.size) for r in second.trace
+        ]
+
+    def test_concurrent_apps_share_the_stack(self):
+        """Section III-D mechanistically: a combo run through one stack."""
+        from repro.emmc import EmmcDevice, four_ps
+
+        def rate(apps):
+            stack = AndroidStack(EmmcDevice(four_ps()), name="combo", seed=7)
+            result = stack.run_concurrent(apps, duration_s=120)
+            trace = result.trace
+            return trace.arrival_rate(), trace
+
+        combo_rate, combo_trace = rate(["Messaging", "WebBrowsing"])
+        single_rate, _ = rate(["Messaging"])
+        assert len(combo_trace) > 0
+        assert combo_rate > single_rate
+        # Combo patterns stay write-dominant and small-request-heavy.
+        writes = sum(1 for r in combo_trace if r.is_write)
+        assert writes / len(combo_trace) > 0.5

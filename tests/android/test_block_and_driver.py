@@ -1,0 +1,80 @@
+"""Unit tests for the block layer merge and eMMC-driver packing."""
+
+import pytest
+
+from repro.trace import KIB, MIB, Op
+from repro.android import BlockLayer, EmmcDriver
+from repro.android.ext4 import BlockIO
+
+
+def _bio(lba, nbytes, op=Op.WRITE, at=0.0):
+    return BlockIO(at_us=at, op=op, lba=lba, nbytes=nbytes)
+
+
+class TestBlockLayerMerge:
+    def test_adjacent_same_op_merged(self):
+        layer = BlockLayer()
+        out = layer.submit([_bio(0, 4 * KIB), _bio(4 * KIB, 8 * KIB)])
+        assert len(out) == 1
+        assert out[0].nbytes == 12 * KIB
+
+    def test_non_adjacent_not_merged(self):
+        out = BlockLayer().submit([_bio(0, 4 * KIB), _bio(16 * KIB, 4 * KIB)])
+        assert len(out) == 2
+
+    def test_different_ops_not_merged(self):
+        out = BlockLayer().submit(
+            [_bio(0, 4 * KIB, Op.WRITE), _bio(4 * KIB, 4 * KIB, Op.READ)]
+        )
+        assert len(out) == 2
+
+    def test_512k_cap(self):
+        bios = [_bio(i * 256 * KIB, 256 * KIB) for i in range(4)]
+        out = BlockLayer().submit(bios)
+        assert [io.nbytes for io in out] == [512 * KIB, 512 * KIB]
+
+    def test_unsorted_input_merged_after_sorting(self):
+        out = BlockLayer().submit([_bio(8 * KIB, 4 * KIB), _bio(0, 8 * KIB)])
+        assert len(out) == 1
+
+    def test_merge_ratio_stat(self):
+        layer = BlockLayer()
+        layer.submit([_bio(0, 4 * KIB), _bio(4 * KIB, 4 * KIB)])
+        assert layer.stats.merge_ratio == 2.0
+
+    def test_sync_flag_propagates(self):
+        sync_bio = BlockIO(0.0, Op.WRITE, 4 * KIB, 4 * KIB, sync=True)
+        out = BlockLayer().submit([_bio(0, 4 * KIB), sync_bio])
+        assert out[0].sync
+
+
+class TestDriverPacking:
+    def test_contiguous_writes_packed_beyond_512k(self):
+        driver = EmmcDriver()
+        requests = [_bio(i * 512 * KIB, 512 * KIB) for i in range(4)]
+        out = driver.pack(requests)
+        assert len(out) == 1
+        assert out[0].nbytes == 2 * MIB
+        assert driver.stats.packed_commands == 3
+
+    def test_reads_never_packed(self):
+        out = EmmcDriver().pack(
+            [_bio(0, 4 * KIB, Op.READ), _bio(4 * KIB, 4 * KIB, Op.READ)]
+        )
+        assert len(out) == 2
+
+    def test_16m_cap(self):
+        requests = [_bio(i * 8 * MIB, 8 * MIB) for i in range(3)]
+        out = EmmcDriver().pack(requests)
+        assert [io.nbytes for io in out] == [16 * MIB, 8 * MIB]
+
+    def test_packing_ratio(self):
+        driver = EmmcDriver()
+        driver.pack([_bio(0, 4 * KIB), _bio(4 * KIB, 4 * KIB)])
+        assert driver.stats.packing_ratio == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmmcDriver(max_packed_bytes=0)
+        with pytest.raises(ValueError):
+            BlockLayer(max_request_bytes=0)

@@ -1,0 +1,74 @@
+"""Unit tests for the ext4-like file system model."""
+
+import pytest
+
+from repro.trace import KIB, MIB, Op, SECTOR
+from repro.android import Ext4Layer, FileOp, FileOpType
+
+DEVICE = 32 * 1024 * MIB
+
+
+@pytest.fixture
+def ext4():
+    return Ext4Layer(device_bytes=DEVICE)
+
+
+class TestAllocation:
+    def test_sequential_writes_are_contiguous(self, ext4):
+        first = ext4.lower(FileOp(0.0, FileOpType.WRITE, "f", offset=0, nbytes=8 * KIB))
+        second = ext4.lower(FileOp(1.0, FileOpType.WRITE, "f", offset=8 * KIB, nbytes=8 * KIB))
+        data_first = [io for io in first if io.nbytes > SECTOR or io.lba % MIB][0]
+        data_second = second[0]
+        assert data_second.lba == data_first.lba + 8 * KIB
+
+    def test_reads_resolve_same_blocks_as_writes(self, ext4):
+        write = ext4.lower(FileOp(0.0, FileOpType.WRITE, "f", offset=0, nbytes=16 * KIB))
+        read = ext4.lower(FileOp(1.0, FileOpType.READ, "f", offset=0, nbytes=16 * KIB))
+        assert read[0].op is Op.READ
+        assert read[0].lba == write[0].lba
+        assert read[0].nbytes == 16 * KIB
+
+    def test_different_files_in_different_groups(self, ext4):
+        a = ext4.lower(FileOp(0.0, FileOpType.WRITE, "alpha", offset=0, nbytes=4 * KIB))
+        b = ext4.lower(FileOp(0.0, FileOpType.WRITE, "beta", offset=0, nbytes=4 * KIB))
+        # Group separation is probabilistic via the name hash, but the
+        # addresses must differ and stay device-resident.
+        assert a[0].lba != b[0].lba
+        for io in a + b:
+            assert 0 <= io.lba < DEVICE
+
+    def test_blocks_are_aligned(self, ext4):
+        for io in ext4.lower(FileOp(0.0, FileOpType.WRITE, "f", offset=100, nbytes=5000)):
+            assert io.lba % SECTOR == 0
+            assert io.nbytes % SECTOR == 0
+
+
+class TestMetadataAndJournal:
+    def test_write_emits_metadata_block(self, ext4):
+        ios = ext4.lower(FileOp(0.0, FileOpType.WRITE, "f", offset=0, nbytes=4 * KIB))
+        assert len(ios) == 2  # data + inode metadata
+        assert ext4.stats.metadata_writes == 1
+
+    def test_sync_write_commits_journal(self, ext4):
+        ios = ext4.lower(
+            FileOp(0.0, FileOpType.WRITE, "f", offset=0, nbytes=4 * KIB, sync=True)
+        )
+        journal_ios = [io for io in ios if io.lba >= DEVICE - 32 * MIB]
+        assert len(journal_ios) == 1
+        assert journal_ios[0].nbytes == 16 * KIB  # descriptor + 2 meta + commit
+        assert ext4.stats.journal_commits == 1
+
+    def test_journal_writes_sequential_and_wrap(self, ext4):
+        first = ext4.lower(FileOp(0.0, FileOpType.SYNC, "f"))[0]
+        second = ext4.lower(FileOp(1.0, FileOpType.SYNC, "f"))[0]
+        assert second.lba == first.lba + 16 * KIB
+        # Force a wrap.
+        for _ in range(3000):
+            last = ext4.lower(FileOp(2.0, FileOpType.SYNC, "f"))[0]
+        assert DEVICE - 32 * MIB <= last.lba < DEVICE
+
+
+class TestErrors:
+    def test_device_too_small(self):
+        with pytest.raises(ValueError):
+            Ext4Layer(device_bytes=MIB)

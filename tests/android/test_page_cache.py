@@ -1,0 +1,112 @@
+"""Unit tests for the page cache."""
+
+import pytest
+
+from repro.trace import KIB
+from repro.android import FileOp, FileOpType, PageCache
+
+
+def _write(at, path="f", offset=0, nbytes=4 * KIB, sync=False):
+    return FileOp(at, FileOpType.WRITE, path, offset=offset, nbytes=nbytes, sync=sync)
+
+
+def _read(at, path="f", offset=0, nbytes=4 * KIB):
+    return FileOp(at, FileOpType.READ, path, offset=offset, nbytes=nbytes)
+
+
+class TestWriteBuffering:
+    def test_async_write_absorbed(self):
+        cache = PageCache()
+        assert cache.handle(_write(0.0)) == []
+        assert cache.stats.writes_buffered == 1
+
+    def test_sync_write_passes_through_with_dirty_flush(self):
+        cache = PageCache()
+        cache.handle(_write(0.0, offset=0))
+        out = cache.handle(_write(1.0, offset=8 * KIB, sync=True))
+        # Dirty page 0 flushed plus the sync write itself.
+        assert len(out) == 2
+        assert out[-1].sync
+
+    def test_fsync_flushes_file(self):
+        cache = PageCache()
+        cache.handle(_write(0.0, offset=0, nbytes=8 * KIB))
+        out = cache.handle(FileOp(1.0, FileOpType.SYNC, "f"))
+        flushed = [op for op in out if op.op_type is FileOpType.WRITE]
+        assert sum(op.nbytes for op in flushed) == 8 * KIB
+
+    def test_writeback_coalesces_contiguous_pages(self):
+        cache = PageCache()
+        cache.handle(_write(0.0, offset=0))
+        cache.handle(_write(1.0, offset=4 * KIB))
+        cache.handle(_write(2.0, offset=12 * KIB))
+        out = cache.writeback(3.0)
+        sizes = sorted(op.nbytes for op in out)
+        assert sizes == [4 * KIB, 8 * KIB]  # one run of 2 pages, one of 1
+
+    def test_periodic_writeback_fires(self):
+        cache = PageCache(writeback_interval_us=1000.0)
+        cache.handle(_write(0.0))
+        out = cache.handle(_read(2000.0, path="other"))
+        assert any(op.op_type is FileOpType.WRITE for op in out)
+
+    def test_dirty_limit_forces_flush(self):
+        cache = PageCache(dirty_limit_pages=4)
+        out = []
+        for i in range(6):
+            out.extend(cache.handle(_write(float(i), offset=i * 8 * KIB)))
+        assert any(op.op_type is FileOpType.WRITE for op in out)
+        assert cache._dirty_count <= 4
+
+
+class TestReadCaching:
+    def test_miss_then_hit(self):
+        cache = PageCache()
+        first = cache.handle(_read(0.0))
+        assert len(first) == 1
+        second = cache.handle(_read(1.0))
+        assert second == []
+        assert cache.stats.read_hits == 1
+        assert cache.stats.read_misses == 1
+
+    def test_dirty_pages_satisfy_reads(self):
+        cache = PageCache()
+        cache.handle(_write(0.0))
+        assert cache.handle(_read(1.0)) == []
+
+    def test_partial_miss_fetches_runs(self):
+        cache = PageCache()
+        cache.handle(_read(0.0, offset=0, nbytes=4 * KIB))
+        out = cache.handle(_read(1.0, offset=0, nbytes=12 * KIB))
+        assert len(out) == 1
+        assert out[0].offset == 4 * KIB
+        assert out[0].nbytes == 8 * KIB
+
+    def test_readahead_on_sequential_reads(self):
+        cache = PageCache(readahead_pages=4)
+        cache.handle(_read(0.0, offset=0, nbytes=8 * KIB))  # pages 0-1
+        out = cache.handle(_read(1.0, offset=8 * KIB, nbytes=4 * KIB))  # page 2
+        # Sequential continuation: fetch page 2 plus 4 readahead pages.
+        assert sum(op.nbytes for op in out) == 5 * 4 * KIB
+        assert cache.stats.readahead_pages == 4
+        # The read-ahead pages now hit.
+        assert cache.handle(_read(2.0, offset=12 * KIB, nbytes=16 * KIB)) == []
+
+    def test_no_readahead_on_random_reads(self):
+        cache = PageCache(readahead_pages=4)
+        cache.handle(_read(0.0, offset=0))
+        out = cache.handle(_read(1.0, offset=40 * KIB))
+        assert sum(op.nbytes for op in out) == 4 * KIB
+        assert cache.stats.readahead_pages == 0
+
+    def test_readahead_validated(self):
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            PageCache(readahead_pages=-1)
+
+    def test_clean_eviction_caps_memory(self):
+        cache = PageCache(cache_limit_pages=8)
+        for i in range(4):
+            cache.handle(_read(float(i), path=f"f{i}", nbytes=16 * KIB))
+        total_clean = sum(len(pages) for pages in cache._clean.values())
+        assert total_clean <= 8

@@ -1,0 +1,61 @@
+"""Unit tests for the SQLite I/O model."""
+
+import numpy as np
+import pytest
+
+from repro.android import AppOp, AppOpType, FileOpType, SQLiteLayer
+from repro.android.sqlite import DB_PAGE
+
+
+@pytest.fixture
+def sqlite(rng):
+    return SQLiteLayer(rng)
+
+
+class TestTransaction:
+    def test_journaled_write_sequence(self, sqlite):
+        ops = sqlite.lower(AppOp(0.0, AppOpType.DB_TRANSACTION, "a.db", nbytes=DB_PAGE))
+        # Journal write, db page write, journal drop.
+        assert ops[0].path == "a.db-journal"
+        assert ops[0].sync
+        assert ops[1].path == "a.db"
+        assert ops[1].sync
+        assert ops[-1].path == "a.db-journal"
+
+    def test_write_amplification_at_least_two(self, sqlite):
+        """One payload page costs a journal header + old image + new image."""
+        sqlite.lower(AppOp(0.0, AppOpType.DB_TRANSACTION, "a.db", nbytes=DB_PAGE))
+        assert sqlite.stats.write_amplification >= 2.0
+
+    def test_multi_page_transaction(self, sqlite):
+        ops = sqlite.lower(
+            AppOp(0.0, AppOpType.DB_TRANSACTION, "a.db", nbytes=3 * DB_PAGE)
+        )
+        db_writes = [op for op in ops if op.path == "a.db"]
+        assert len(db_writes) == 3
+        journal = [op for op in ops if op.path.endswith("-journal")][0]
+        assert journal.nbytes == 4 * DB_PAGE  # header + 3 old images
+
+    def test_stats_accumulate(self, sqlite):
+        for _ in range(3):
+            sqlite.lower(AppOp(0.0, AppOpType.DB_TRANSACTION, "a.db", nbytes=DB_PAGE))
+        assert sqlite.stats.transactions == 3
+        assert sqlite.stats.syncs == 6
+
+
+class TestQuery:
+    def test_query_emits_page_reads(self, sqlite):
+        ops = sqlite.lower(AppOp(0.0, AppOpType.DB_QUERY, "a.db", nbytes=2 * DB_PAGE))
+        assert len(ops) == 2
+        assert all(op.op_type is FileOpType.READ for op in ops)
+        assert all(op.nbytes == DB_PAGE for op in ops)
+
+    def test_reads_are_page_aligned(self, sqlite):
+        ops = sqlite.lower(AppOp(0.0, AppOpType.DB_QUERY, "a.db", nbytes=DB_PAGE))
+        assert ops[0].offset % DB_PAGE == 0
+
+
+class TestErrors:
+    def test_non_db_op_rejected(self, sqlite):
+        with pytest.raises(ValueError):
+            sqlite.lower(AppOp(0.0, AppOpType.FILE_READ, "f", nbytes=1))

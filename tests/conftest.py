@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace import Op, Request, Trace
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def make_request(
+    arrival_us=0.0, lba=0, size=4096, op=Op.WRITE, service_start_us=None, finish_us=None
+):
+    return Request(
+        arrival_us=arrival_us,
+        lba=lba,
+        size=size,
+        op=op,
+        service_start_us=service_start_us,
+        finish_us=finish_us,
+    )
+
+
+@pytest.fixture
+def small_trace():
+    """Five requests: a sequential write pair, a re-hit, and two reads."""
+    requests = [
+        make_request(arrival_us=0.0, lba=0, size=8192, op=Op.WRITE),
+        make_request(arrival_us=100.0, lba=8192, size=4096, op=Op.WRITE),
+        make_request(arrival_us=250.0, lba=0, size=4096, op=Op.READ),
+        make_request(arrival_us=400.0, lba=40960, size=16384, op=Op.READ),
+        make_request(arrival_us=900.0, lba=8192, size=4096, op=Op.WRITE),
+    ]
+    return Trace(name="small", requests=requests)
+
+
+@pytest.fixture
+def completed_trace():
+    """Three requests with device timestamps (one queued, two immediate)."""
+    requests = [
+        make_request(0.0, 0, 4096, Op.WRITE, service_start_us=0.0, finish_us=1000.0),
+        make_request(500.0, 4096, 4096, Op.WRITE, service_start_us=1000.0, finish_us=2000.0),
+        make_request(5000.0, 8192, 8192, Op.READ, service_start_us=5000.0, finish_us=5400.0),
+    ]
+    return Trace(name="completed", requests=requests)

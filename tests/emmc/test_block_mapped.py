@@ -1,0 +1,149 @@
+"""Unit tests for the hybrid log-block FTL."""
+
+import pytest
+
+from repro.trace import KIB, Op, Request
+from repro.emmc import EmmcDevice, Geometry, PageKind, four_ps
+from repro.emmc.ftl.block_mapped import BlockMappedFtl
+from repro.emmc.ops import FlashOpType, WriteGroup
+
+
+def _tiny():
+    geometry = Geometry(
+        channels=2, dies_per_chip=1, planes_per_die=1,
+        blocks_per_plane={PageKind.K4: 16}, pages_per_block=4,
+    )
+    return BlockMappedFtl(geometry, log_blocks=2)
+
+
+def _write(ftl, lpn):
+    return ftl.write([WriteGroup(PageKind.K4, (lpn,))])
+
+
+class TestValidation:
+    def test_requires_4k_only(self):
+        geometry = Geometry(blocks_per_plane={PageKind.K8: 4}, pages_per_block=4)
+        with pytest.raises(ValueError):
+            BlockMappedFtl(geometry)
+
+    def test_needs_log_blocks(self):
+        geometry = Geometry(blocks_per_plane={PageKind.K4: 4}, pages_per_block=4)
+        with pytest.raises(ValueError):
+            BlockMappedFtl(geometry, log_blocks=0)
+
+
+class TestWritePath:
+    def test_first_write_in_place_single_program(self):
+        ftl = _tiny()
+        outcome = _write(ftl, 5)
+        ops = [op.op_type for op in outcome.ops]
+        assert ops == [FlashOpType.PROGRAM]
+        assert not outcome.gc_results
+
+    def test_overwrite_goes_to_log(self):
+        ftl = _tiny()
+        _write(ftl, 5)
+        outcome = _write(ftl, 5)
+        assert [op.op_type for op in outcome.ops] == [FlashOpType.PROGRAM]
+        logical_block = 5 // ftl.pages_per_block
+        assert logical_block in ftl._logs
+
+    def test_full_log_triggers_full_merge(self):
+        ftl = _tiny()
+        _write(ftl, 0)
+        # Overwrite page 0 five times: 4 log slots + the fifth forces merge.
+        merge_seen = False
+        for _ in range(5):
+            outcome = _write(ftl, 0)
+            if outcome.gc_results:
+                merge_seen = True
+        assert merge_seen
+        assert ftl.stats.full_merges >= 1
+        assert ftl.stats.erases >= 2  # data + log block erased in a full merge
+
+    def test_log_pool_limit_evicts_oldest(self):
+        ftl = _tiny()  # pool of 2 log blocks
+        for block in range(3):
+            lpn = block * ftl.pages_per_block
+            _write(ftl, lpn)
+            _write(ftl, lpn)  # force a log for each logical block
+        assert len(ftl._logs) <= 2
+        assert ftl.stats.full_merges + ftl.stats.switch_merges >= 1
+
+
+class TestReadPath:
+    def test_read_after_write_hits_freshest_copy(self):
+        ftl = _tiny()
+        _write(ftl, 3)
+        _write(ftl, 3)  # now in a log block
+        outcome = ftl.read([3])
+        assert len(outcome.ops) == 1
+        log = ftl._logs[3 // ftl.pages_per_block]
+        assert outcome.ops[0].plane == log.physical % ftl.geometry.num_planes
+
+    def test_preloaded_read_materializes_block(self):
+        ftl = _tiny()
+        outcome = ftl.read([9])
+        assert outcome.preloaded_pages == 1
+        assert len(outcome.ops) == 1
+        # Re-reading is no longer "preloaded".
+        assert ftl.read([9]).preloaded_pages == 0
+
+    def test_preloaded_then_overwrite_uses_log(self):
+        ftl = _tiny()
+        ftl.read([9])
+        _write(ftl, 9)  # the page is occupied by pre-existing data
+        assert 9 // ftl.pages_per_block in ftl._logs
+
+
+class TestMergeCorrectness:
+    def test_full_merge_preserves_all_pages(self):
+        ftl = _tiny()
+        for page in range(4):
+            _write(ftl, page)  # fill logical block 0 in place
+        for _ in range(5):
+            _write(ftl, 1)  # overwrites -> log -> merge eventually
+        # After any merges, reads still resolve without "preloaded".
+        outcome = ftl.read([0, 1, 2, 3])
+        assert outcome.preloaded_pages == 0
+        assert len(outcome.ops) == 4
+
+
+class TestDeviceIntegration:
+    def test_device_with_hybrid_scheme(self):
+        config = four_ps(mapping_scheme="hybrid-log", log_blocks=4)
+        device = EmmcDevice(config)
+        block_bytes = device.ftl.pages_per_block * 4 * KIB
+        at = 0.0
+        # Overwrites spread over more logical blocks than the log pool
+        # holds: the pool thrashes and merges fire.
+        for i in range(60):
+            lba = (i % 6) * block_bytes
+            device.submit(Request(at, lba, 4 * KIB, Op.WRITE))
+            done = device.submit(Request(at + 1.0, lba, 4 * KIB, Op.WRITE))
+            at = done.finish_us + 1.0
+        assert device.ftl.stats.full_merges + device.ftl.stats.switch_merges > 0
+        assert device.stats.requests == 120
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="mapping scheme"):
+            EmmcDevice(four_ps(mapping_scheme="magic"))
+
+    def test_hybrid_much_slower_on_random_overwrites(self):
+        block_bytes = 1024 * 4 * KIB  # 4PS blocks hold 1,024 pages
+
+        def mrt(scheme):
+            device = EmmcDevice(four_ps(mapping_scheme=scheme))
+            at = 0.0
+            responses = []
+            for i in range(300):
+                # Random overwrites over 40 logical blocks: far beyond the
+                # log pool, so the hybrid FTL merge-thrashes.
+                lba = (i * 7 % 40) * block_bytes + (i % 3) * 4 * KIB
+                device.submit(Request(at, lba, 4 * KIB, Op.WRITE))
+                done = device.submit(Request(at + 1.0, lba, 4 * KIB, Op.WRITE))
+                responses.append(done.response_us)
+                at = done.finish_us + 100.0
+            return sum(responses) / len(responses)
+
+        assert mrt("hybrid-log") > 2 * mrt("page")

@@ -1,0 +1,116 @@
+"""Unit tests for flash block and plane state."""
+
+import pytest
+
+from repro.emmc import Geometry, PageKind
+from repro.emmc.ftl.blocks import Block, OutOfSpaceError, Plane
+
+
+def _block(kind=PageKind.K4, pages=4):
+    return Block(block_id=0, kind=kind, pages_per_block=pages)
+
+
+class TestBlock:
+    def test_program_advances_pointer(self):
+        block = _block()
+        assert block.program((7,)) == 0
+        assert block.program((8,)) == 1
+        assert block.write_ptr == 2
+        assert block.valid_count == 2
+        assert block.free_pages == 2
+
+    def test_program_with_padding(self):
+        block = _block(kind=PageKind.K8)
+        block.program((7, None))
+        assert block.valid_count == 1
+        assert block.invalid_count == 1  # the padding slot counts as wasted
+
+    def test_program_full_block_rejected(self):
+        block = _block(pages=1)
+        block.program((1,))
+        with pytest.raises(RuntimeError, match="full"):
+            block.program((2,))
+
+    def test_program_wrong_slot_count_rejected(self):
+        with pytest.raises(ValueError, match="slots"):
+            _block(kind=PageKind.K8).program((1,))
+
+    def test_invalidate(self):
+        block = _block()
+        block.program((7,))
+        block.invalidate(0, 0)
+        assert block.valid_count == 0
+        assert block.invalid_count == 1
+
+    def test_double_invalidate_rejected(self):
+        block = _block()
+        block.program((7,))
+        block.invalidate(0, 0)
+        with pytest.raises(RuntimeError, match="already invalid"):
+            block.invalidate(0, 0)
+
+    def test_valid_entries(self):
+        block = _block(kind=PageKind.K8)
+        block.program((10, 11))
+        block.program((12, None))
+        block.invalidate(0, 1)
+        assert block.valid_entries() == [(0, 0, 10), (1, 0, 12)]
+
+    def test_erase_resets_and_counts(self):
+        block = _block()
+        block.program((7,))
+        block.invalidate(0, 0)
+        block.erase()
+        assert block.write_ptr == 0
+        assert block.erase_count == 1
+        assert block.free_pages == 4
+
+    def test_erase_with_valid_data_rejected(self):
+        block = _block()
+        block.program((7,))
+        with pytest.raises(RuntimeError, match="valid slots"):
+            block.erase()
+
+
+class TestPlane:
+    @pytest.fixture
+    def plane(self):
+        geometry = Geometry(
+            channels=1, dies_per_chip=1, planes_per_die=1,
+            blocks_per_plane={PageKind.K4: 4}, pages_per_block=2,
+        )
+        return Plane.create(0, geometry)
+
+    def test_create_populates_pools(self, plane):
+        assert plane.free_count(PageKind.K4) == 4
+        assert plane.active_block[PageKind.K4] is None
+
+    def test_take_free_block_prefers_low_erase(self, plane):
+        plane.blocks[PageKind.K4][0].erase_count = 5
+        plane.blocks[PageKind.K4][1].erase_count = 1
+        taken = plane.take_free_block(PageKind.K4)
+        assert taken.block_id in (2, 3)  # erase count 0 preferred
+
+    def test_take_free_exhausts(self, plane):
+        for _ in range(4):
+            plane.take_free_block(PageKind.K4)
+        with pytest.raises(OutOfSpaceError):
+            plane.take_free_block(PageKind.K4)
+
+    def test_gc_candidates_exclude_active_and_free(self, plane):
+        block = plane.take_free_block(PageKind.K4)
+        plane.active_block[PageKind.K4] = block.block_id
+        block.program((1,))
+        block.program((2,))
+        assert plane.gc_candidates(PageKind.K4) == []  # full but active
+        other = plane.take_free_block(PageKind.K4)
+        other.program((3,))
+        other.program((4,))
+        assert [b.block_id for b in plane.gc_candidates(PageKind.K4)] == [other.block_id]
+
+    def test_total_free_pages(self, plane):
+        assert plane.total_free_pages(PageKind.K4) == 8
+        block = plane.take_free_block(PageKind.K4)
+        plane.active_block[PageKind.K4] = block.block_id
+        block.program((1,))
+        assert plane.total_free_pages(PageKind.K4) == 7

@@ -1,0 +1,34 @@
+"""Tests for device snapshots and structure helpers."""
+
+from repro.trace import KIB, Op, Request
+from repro.emmc import EmmcDevice, PageKind, four_ps, hps, plane_layout, small_four_ps
+
+
+class TestDescribe:
+    def test_fresh_device(self):
+        text = EmmcDevice(hps()).describe()
+        assert "HPS" in text
+        assert "32 GiB" in text
+        assert "served 0 requests" in text
+
+    def test_after_activity(self):
+        device = EmmcDevice(small_four_ps())
+        device.submit(Request(0.0, 0, 8 * KIB, Op.WRITE))
+        text = device.describe()
+        assert "served 1 requests" in text
+        assert "wrote 8 KiB" in text
+        assert "wear:" in text
+
+    def test_hybrid_ftl_skips_wear_section(self):
+        device = EmmcDevice(four_ps(mapping_scheme="hybrid-log"))
+        device.submit(Request(0.0, 0, 4 * KIB, Op.WRITE))
+        assert "wear:" not in device.describe()
+
+
+class TestPlaneLayout:
+    def test_matches_geometry(self):
+        layout = plane_layout(hps())
+        assert layout == {PageKind.K4: 512, PageKind.K8: 256}
+        # A copy, not a live view.
+        layout[PageKind.K4] = 0
+        assert plane_layout(hps())[PageKind.K4] == 512

@@ -1,0 +1,78 @@
+"""Property-based tests for device-level conservation laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import KIB, Op, Request
+from repro.emmc import EmmcDevice, PageKind, small_eight_ps, small_four_ps, small_hps
+
+write_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=64),  # start page
+        st.integers(min_value=1, max_value=8),  # pages
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+@given(specs=write_specs, scheme=st.sampled_from(["4PS", "8PS", "HPS"]))
+@settings(max_examples=30, deadline=None)
+def test_flash_consumption_conservation(specs, scheme):
+    """flash consumed == data written + padding; padding only on 8PS."""
+    config = {"4PS": small_four_ps, "8PS": small_eight_ps, "HPS": small_hps}[scheme]()
+    device = EmmcDevice(config)
+    at = 0.0
+    total = 0
+    for start, pages in specs:
+        size = pages * 4 * KIB
+        total += size
+        done = device.submit(Request(at, start * 4 * KIB, size, Op.WRITE))
+        at = done.finish_us + 100.0
+    stats = device.stats
+    assert stats.data_bytes_written == total
+    assert stats.flash_bytes_consumed == stats.data_bytes_written + stats.padding_bytes
+    if scheme in ("4PS", "HPS"):
+        assert stats.padding_bytes == 0
+    else:
+        odd_writes = sum(1 for _, pages in specs if pages % 2)
+        assert stats.padding_bytes == odd_writes * 4 * KIB
+
+
+@given(specs=write_specs)
+@settings(max_examples=25, deadline=None)
+def test_program_counts_match_distributor_math(specs):
+    """HPS programs exactly pages//2 8K pages + pages%2 4K pages per write
+    (absent GC, which the small working set avoids here)."""
+    device = EmmcDevice(small_hps())
+    at = 0.0
+    expected_k8 = 0
+    expected_k4 = 0
+    for start, pages in specs[:20]:  # keep well under GC pressure
+        expected_k8 += pages // 2
+        expected_k4 += pages % 2
+        done = device.submit(Request(at, start * 4 * KIB, pages * 4 * KIB, Op.WRITE))
+        at = done.finish_us + 100.0
+    if device.stats.gc_collections == 0:
+        assert device.stats.page_programs.get(PageKind.K8, 0) == expected_k8
+        assert device.stats.page_programs.get(PageKind.K4, 0) == expected_k4
+
+
+@given(
+    specs=write_specs,
+    gap_us=st.floats(min_value=10.0, max_value=50_000.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_response_time_accounting(specs, gap_us):
+    """response == wait + service for every request, and sums match."""
+    device = EmmcDevice(small_four_ps())
+    at = 0.0
+    for start, pages in specs:
+        done = device.submit(Request(at, start * 4 * KIB, pages * 4 * KIB, Op.WRITE))
+        assert abs(done.response_us - (done.wait_us + done.service_us)) < 1e-6
+        at += gap_us
+    stats = device.stats
+    assert len(stats.response_us) == len(specs)
+    total_resp = sum(stats.response_us)
+    total_parts = sum(stats.wait_us) + sum(stats.service_us)
+    assert abs(total_resp - total_parts) < 1e-3

@@ -1,0 +1,33 @@
+"""Distributor behaviour with the SLC-augmented kind set."""
+
+from repro.trace import KIB, Op, Request
+from repro.emmc import PageKind, RequestDistributor
+
+
+def _write(size_kib):
+    return Request(arrival_us=0.0, lba=0, size=size_kib * KIB, op=Op.WRITE)
+
+
+class TestSlcDistribution:
+    def test_hps_slc_splits_like_hps(self):
+        distributor = RequestDistributor([PageKind.K4_SLC, PageKind.K8])
+        groups = distributor.split_write(_write(20))
+        assert [g.kind for g in groups] == [PageKind.K8, PageKind.K8, PageKind.K4_SLC]
+        assert distributor.flash_bytes_for(_write(20)) == 20 * KIB
+
+    def test_single_page_goes_to_slc(self):
+        distributor = RequestDistributor([PageKind.K4_SLC, PageKind.K8])
+        groups = distributor.split_write(_write(4))
+        assert groups[0].kind is PageKind.K4_SLC
+
+    def test_pure_slc_device(self):
+        distributor = RequestDistributor([PageKind.K4_SLC])
+        groups = distributor.split_write(_write(12))
+        assert len(groups) == 3
+        assert all(g.kind is PageKind.K4_SLC for g in groups)
+
+    def test_slc_sorts_before_mlc_at_same_size(self):
+        distributor = RequestDistributor([PageKind.K4, PageKind.K4_SLC])
+        # Mixed same-size pools: smallest is deterministic (mode ordering).
+        assert distributor.smallest in (PageKind.K4_SLC, PageKind.K4)
+        assert distributor.largest.bytes == 4096

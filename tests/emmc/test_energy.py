@@ -1,0 +1,84 @@
+"""Tests for the energy model and busy-time accounting."""
+
+import pytest
+
+from repro.trace import KIB, Op, Request
+from repro.emmc import EmmcDevice, EnergyParams, energy_report, small_four_ps
+from repro.emmc.energy import EnergyReport
+
+
+def _req(at, lba, size, op=Op.WRITE):
+    return Request(arrival_us=at, lba=lba, size=size, op=op)
+
+
+class TestBusyTimeAccounting:
+    def test_write_accumulates_program_and_transfer(self):
+        device = EmmcDevice(small_four_ps())
+        device.submit(_req(0.0, 0, 8 * KIB))
+        assert device.stats.busy_program_us == pytest.approx(2 * 1385.0)
+        assert device.stats.busy_transfer_us > 0
+        assert device.stats.busy_read_us == 0
+
+    def test_read_accumulates_read_time(self):
+        device = EmmcDevice(small_four_ps())
+        device.submit(_req(0.0, 0, 8 * KIB, Op.READ))
+        assert device.stats.busy_read_us == pytest.approx(2 * 160.0)
+
+    def test_idle_split_by_threshold(self):
+        device = EmmcDevice(small_four_ps())
+        threshold = device.latency.power_threshold_us
+        first = device.submit(_req(0.0, 0, 4 * KIB))
+        gap = threshold * 3
+        device.submit(_req(first.finish_us + gap, 4 * KIB, 4 * KIB))
+        assert device.stats.active_idle_us == pytest.approx(threshold)
+        assert device.stats.low_power_us == pytest.approx(gap - threshold)
+
+    def test_short_gap_all_active_idle(self):
+        device = EmmcDevice(small_four_ps())
+        first = device.submit(_req(0.0, 0, 4 * KIB))
+        device.submit(_req(first.finish_us + 1000.0, 4 * KIB, 4 * KIB))
+        assert device.stats.active_idle_us == pytest.approx(1000.0)
+        assert device.stats.low_power_us == 0.0
+
+
+class TestEnergyReport:
+    def test_breakdown_and_total(self):
+        device = EmmcDevice(small_four_ps())
+        first = device.submit(_req(0.0, 0, 4 * KIB))
+        device.submit(_req(first.finish_us + 500_000.0, 4 * KIB, 4 * KIB, Op.READ))
+        report = energy_report(device.stats)
+        assert report.total_uj > 0
+        assert report.program_uj > report.read_uj  # one program vs one read
+        assert report.wakeup_uj == EnergyParams().wakeup_uj  # one wake-up
+        total = (report.read_uj + report.program_uj + report.erase_uj
+                 + report.transfer_uj + report.active_idle_uj
+                 + report.low_power_uj + report.wakeup_uj)
+        assert report.total_uj == pytest.approx(total)
+
+    def test_idle_share(self):
+        report = EnergyReport(10, 10, 0, 0, 60, 20, 0)
+        assert report.idle_share == pytest.approx(0.8)
+        empty = EnergyReport(0, 0, 0, 0, 0, 0, 0)
+        assert empty.idle_share == 0.0
+
+    def test_params_validated(self):
+        with pytest.raises(ValueError):
+            EnergyParams(read_mw=-1.0)
+
+    def test_sleepier_threshold_saves_energy(self):
+        """Lower threshold -> more time in low-power -> less energy."""
+        import dataclasses
+
+        def run(threshold):
+            config = small_four_ps()
+            config = config.with_overrides(
+                latency=dataclasses.replace(config.latency, power_threshold_us=threshold)
+            )
+            device = EmmcDevice(config)
+            at = 0.0
+            for i in range(20):
+                done = device.submit(_req(at, i * 4 * KIB, 4 * KIB))
+                at = done.finish_us + 2_000_000.0  # 2 s think time
+            return energy_report(device.stats).total_uj
+
+        assert run(10_000.0) < run(1_000_000.0)

@@ -1,0 +1,100 @@
+"""Tests for the device extensions: queue depth, multi-plane, SLC mode."""
+
+import pytest
+
+from repro.trace import KIB, Op, Request
+from repro.emmc import (
+    EmmcDevice,
+    Geometry,
+    PageKind,
+    four_ps,
+    hps,
+    hps_slc,
+    small_four_ps,
+)
+
+
+def _req(at, lba, size, op=Op.WRITE):
+    return Request(arrival_us=at, lba=lba, size=size, op=op)
+
+
+class TestQueueDepth:
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            small_four_ps(queue_depth=0)
+
+    def test_deeper_queue_admits_concurrent_requests(self):
+        shallow = EmmcDevice(small_four_ps())
+        deep = EmmcDevice(small_four_ps(queue_depth=4))
+        # Two requests arriving together: with depth 1 the second waits.
+        for device in (shallow, deep):
+            device.submit(_req(0.0, 0, 64 * KIB))
+        second_shallow = shallow.submit(_req(1.0, 256 * KIB, 4 * KIB, Op.READ))
+        second_deep = deep.submit(_req(1.0, 256 * KIB, 4 * KIB, Op.READ))
+        assert second_shallow.wait_us > 0
+        assert second_deep.wait_us == 0.0
+        # Resources are still shared, so the deep response is not free.
+        assert second_deep.finish_us > second_deep.arrival_us
+
+    def test_depth_limit_enforced(self):
+        device = EmmcDevice(small_four_ps(queue_depth=2))
+        finishes = []
+        for i in range(3):
+            done = device.submit(_req(0.0, i * 64 * KIB, 64 * KIB))
+            finishes.append(done)
+        assert finishes[0].wait_us == 0.0
+        assert finishes[1].wait_us == 0.0
+        # Third request must wait for a slot.
+        assert finishes[2].wait_us > 0.0
+
+
+class TestMultiPlane:
+    def test_multi_plane_speeds_up_parallel_writes(self):
+        trace_writes = [(i * 4 * KIB, 4 * KIB) for i in range(8)]
+        results = {}
+        for multi_plane in (False, True):
+            device = EmmcDevice(four_ps(multi_plane=multi_plane))
+            done = device.submit(
+                _req(0.0, 0, 64 * KIB)  # 16 pages spread over the planes
+            )
+            results[multi_plane] = done.service_us
+        assert results[True] < results[False]
+
+    def test_single_page_unaffected(self):
+        for multi_plane in (False, True):
+            device = EmmcDevice(four_ps(multi_plane=multi_plane))
+            done = device.submit(_req(0.0, 0, 4 * KIB))
+            assert done.service_us > 0
+
+
+class TestSlcMode:
+    def test_kind_properties(self):
+        assert PageKind.K4_SLC.bytes == 4096
+        assert PageKind.K4_SLC.is_slc
+        assert not PageKind.K4.is_slc
+        assert str(PageKind.K4_SLC) == "4K-SLC"
+
+    def test_slc_blocks_expose_half_pages(self):
+        geometry = Geometry(blocks_per_plane={PageKind.K4_SLC: 4}, pages_per_block=64)
+        assert geometry.pages_for(PageKind.K4_SLC) == 32
+        assert geometry.pages_for(PageKind.K4) == 64
+
+    def test_hps_slc_capacity_is_24_gib(self):
+        assert hps_slc().geometry.capacity_bytes() == 24 * 1024**3
+
+    def test_slc_single_page_write_faster_than_mlc(self):
+        mlc = EmmcDevice(hps())
+        slc = EmmcDevice(hps_slc())
+        mlc_done = mlc.submit(_req(0.0, 0, 4 * KIB))
+        slc_done = slc.submit(_req(0.0, 0, 4 * KIB))
+        # SLC program 400 us vs MLC 1385 us dominates the difference.
+        assert slc_done.service_us < mlc_done.service_us - 500.0
+
+    def test_slc_pool_still_perfect_utilization(self):
+        device = EmmcDevice(hps_slc())
+        device.submit(_req(0.0, 0, 20 * KIB))
+        assert device.stats.space_utilization == 1.0
+
+    def test_kinds_order_deterministic(self):
+        geometry = hps_slc().geometry
+        assert geometry.kinds() == [PageKind.K4_SLC, PageKind.K8]

@@ -1,0 +1,115 @@
+"""Property-based tests: FTL consistency under random workloads."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import KIB, Op, Request
+from repro.emmc import EmmcDevice, Geometry, PageKind
+from repro.emmc.device import DeviceConfig
+from repro.emmc.ftl import PRELOADED_BLOCK
+
+
+def _tiny_device(kinds):
+    geometry = Geometry(
+        channels=2,
+        dies_per_chip=1,
+        planes_per_die=1,
+        blocks_per_plane=kinds,
+        pages_per_block=16,
+    )
+    return EmmcDevice(DeviceConfig(name="prop", geometry=geometry))
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from([Op.READ, Op.WRITE]),
+        st.integers(min_value=0, max_value=40),  # lpn
+        st.integers(min_value=1, max_value=6),  # pages
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@given(ops=ops_strategy, scheme=st.sampled_from(["4PS", "8PS", "HPS"]))
+@settings(max_examples=40, deadline=None)
+def test_mapping_stays_consistent(ops, scheme):
+    """After any request sequence: every mapped LPN points at a valid slot
+    holding exactly that LPN, and valid counts equal the mapping's view."""
+    kinds = {
+        "4PS": {PageKind.K4: 8},
+        "8PS": {PageKind.K8: 4},
+        "HPS": {PageKind.K4: 4, PageKind.K8: 2},
+    }[scheme]
+    device = _tiny_device(kinds)
+    at = 0.0
+    written = set()
+    for op, lpn, pages in ops:
+        request = Request(arrival_us=at, lba=lpn * 4 * KIB, size=pages * 4 * KIB, op=op)
+        done = device.submit(request)
+        at = done.finish_us + 1.0
+        if op is Op.WRITE:
+            written.update(range(lpn, lpn + pages))
+    ftl = device.ftl
+    mapped_in_blocks = 0
+    for lpn in written:
+        location = ftl.mapping.lookup(lpn)
+        assert location is not None
+        assert location.block_id != PRELOADED_BLOCK
+        block = ftl.planes[location.plane].block(location.kind, location.block_id)
+        assert block.slots[location.page][location.slot] == lpn
+        mapped_in_blocks += 1
+    # Every block's valid_count equals the number of slots the mapping
+    # still points at within that block.
+    for plane in ftl.planes:
+        for pool in plane.blocks.values():
+            for block in pool:
+                pointed = sum(
+                    1
+                    for page, slots in enumerate(block.slots)
+                    for slot, lpn in enumerate(slots)
+                    if lpn is not None
+                )
+                assert pointed == block.valid_count
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=30, deadline=None)
+def test_timestamps_always_well_formed(ops):
+    device = _tiny_device({PageKind.K4: 8})
+    at = 0.0
+    previous_finish = 0.0
+    for op, lpn, pages in ops:
+        done = device.submit(
+            Request(arrival_us=at, lba=lpn * 4 * KIB, size=pages * 4 * KIB, op=op)
+        )
+        assert done.service_start_us >= done.arrival_us
+        assert done.finish_us > done.service_start_us
+        # FIFO: service never starts before the previous request finished.
+        assert done.service_start_us >= previous_finish - 1e-6
+        previous_finish = done.finish_us
+        at += 500.0
+
+
+@given(sizes=st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_space_utilization_invariants(sizes):
+    """4PS/HPS never pad; 8PS utilization equals pages/ceil-to-even."""
+    devices = {
+        "4PS": _tiny_device({PageKind.K4: 16}),
+        "8PS": _tiny_device({PageKind.K8: 8}),
+        "HPS": _tiny_device({PageKind.K4: 8, PageKind.K8: 4}),
+    }
+    at = 0.0
+    total_pages = 0
+    consumed_8ps_pages = 0
+    for pages in sizes:
+        total_pages += pages
+        consumed_8ps_pages += 2 * ((pages + 1) // 2)
+        for device in devices.values():
+            device.submit(Request(arrival_us=at, lba=0, size=pages * 4 * KIB, op=Op.WRITE))
+        at += 100_000.0
+    assert devices["4PS"].stats.space_utilization == 1.0
+    assert devices["HPS"].stats.space_utilization == 1.0
+    expected = total_pages / consumed_8ps_pages
+    assert abs(devices["8PS"].stats.space_utilization - expected) < 1e-9

@@ -1,0 +1,114 @@
+"""Unit tests for the greedy garbage collector."""
+
+import pytest
+
+from repro.emmc import Geometry, PageKind
+from repro.emmc.ftl import GreedyGC, PageAllocator, PageMapping, PhysicalLocation
+from repro.emmc.ftl.blocks import Plane
+from repro.emmc.ops import FlashOpType
+
+
+def _plane(blocks=4, pages=2, kind=PageKind.K4):
+    geometry = Geometry(
+        channels=1, dies_per_chip=1, planes_per_die=1,
+        blocks_per_plane={kind: blocks}, pages_per_block=pages,
+    )
+    return Plane.create(0, geometry), PageAllocator(geometry, [Plane.create(0, geometry)])
+
+
+def _fill_block(plane, mapping, kind, lpn_base, invalid_slots=0):
+    """Take a free block, fill it, optionally invalidate some slots."""
+    block = plane.take_free_block(kind)
+    index = 0
+    for page in range(block.pages_per_block):
+        lpns = tuple(lpn_base + index + s for s in range(kind.slots))
+        block.program(lpns)
+        for slot, lpn in enumerate(lpns):
+            mapping.update(lpn, PhysicalLocation(0, kind, block.block_id, page, slot))
+        index += kind.slots
+    entries = block.valid_entries()
+    for page, slot, _ in entries[:invalid_slots]:
+        block.invalidate(page, slot)
+    return block
+
+
+class TestVictimSelection:
+    def test_prefers_most_invalid(self):
+        plane, _ = _plane()
+        mapping = PageMapping()
+        _fill_block(plane, mapping, PageKind.K4, 0, invalid_slots=1)
+        dirtier = _fill_block(plane, mapping, PageKind.K4, 10, invalid_slots=2)
+        gc = GreedyGC()
+        assert gc.select_victim(plane, PageKind.K4).block_id == dirtier.block_id
+
+    def test_no_victim_when_all_valid(self):
+        plane, _ = _plane()
+        mapping = PageMapping()
+        _fill_block(plane, mapping, PageKind.K4, 0, invalid_slots=0)
+        assert GreedyGC().select_victim(plane, PageKind.K4) is None
+
+    def test_needs_gc_threshold(self):
+        plane, _ = _plane(blocks=4)
+        mapping = PageMapping()
+        _fill_block(plane, mapping, PageKind.K4, 0, invalid_slots=1)
+        gc = GreedyGC(threshold_blocks=2)
+        # 3 free blocks left > threshold 2: no GC needed yet.
+        assert not gc.needs_gc(plane, PageKind.K4)
+        _fill_block(plane, mapping, PageKind.K4, 10, invalid_slots=1)
+        # 2 free <= 2 and a victim exists.
+        assert gc.needs_gc(plane, PageKind.K4)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            GreedyGC(threshold_blocks=0)
+
+
+class TestCollect:
+    def test_collect_migrates_and_erases(self):
+        geometry = Geometry(
+            channels=1, dies_per_chip=1, planes_per_die=1,
+            blocks_per_plane={PageKind.K4: 4}, pages_per_block=2,
+        )
+        plane = Plane.create(0, geometry)
+        allocator = PageAllocator(geometry, [plane])
+        mapping = PageMapping()
+        victim = _fill_block(plane, mapping, PageKind.K4, 0, invalid_slots=1)
+        result = GreedyGC().collect(plane, PageKind.K4, allocator, mapping)
+        assert result is not None
+        assert result.migrated_slots == 1
+        assert result.erased_block == victim.block_id
+        # Victim is back in the free pool, erased once.
+        assert victim.block_id in plane.free_blocks[PageKind.K4]
+        assert victim.erase_count == 1
+        # Ops: one read (page with valid data), one program, one erase.
+        op_types = [op.op_type for op in result.ops]
+        assert op_types == [FlashOpType.READ, FlashOpType.PROGRAM, FlashOpType.ERASE]
+        assert all(op.gc for op in result.ops)
+        # The surviving LPN is still mapped, elsewhere.
+        survivor = mapping.lookup(1)
+        assert survivor is not None
+        assert survivor.block_id != victim.block_id or survivor.page != 0
+
+    def test_collect_repacks_8k_pages(self):
+        geometry = Geometry(
+            channels=1, dies_per_chip=1, planes_per_die=1,
+            blocks_per_plane={PageKind.K8: 4}, pages_per_block=2,
+        )
+        plane = Plane.create(0, geometry)
+        allocator = PageAllocator(geometry, [plane])
+        mapping = PageMapping()
+        block = _fill_block(plane, mapping, PageKind.K8, 0, invalid_slots=1)
+        assert block.valid_count == 3
+        result = GreedyGC().collect(plane, PageKind.K8, allocator, mapping)
+        # Three valid slots re-packed into two 8K pages (2 + 1 padded).
+        programs = [op for op in result.ops if op.op_type is FlashOpType.PROGRAM]
+        assert len(programs) == 2
+
+    def test_collect_returns_none_without_victim(self):
+        plane, _ = _plane()
+        geometry = Geometry(
+            channels=1, dies_per_chip=1, planes_per_die=1,
+            blocks_per_plane={PageKind.K4: 4}, pages_per_block=2,
+        )
+        allocator = PageAllocator(geometry, [plane])
+        assert GreedyGC().collect(plane, PageKind.K4, allocator, PageMapping()) is None

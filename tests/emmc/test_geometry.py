@@ -1,0 +1,98 @@
+"""Unit tests for device geometry."""
+
+import pytest
+
+from repro.emmc import Geometry, PageKind
+
+
+class TestPageKind:
+    def test_sizes_and_slots(self):
+        assert PageKind.K4.bytes == 4096
+        assert PageKind.K4.slots == 1
+        assert PageKind.K8.bytes == 8192
+        assert PageKind.K8.slots == 2
+
+    def test_str(self):
+        assert str(PageKind.K8) == "8K"
+
+
+class TestGeometry:
+    def test_table_v_default_shape(self):
+        geometry = Geometry()
+        assert geometry.num_planes == 8
+        assert geometry.num_dies == 4
+        assert geometry.planes_per_channel == 4
+
+    def test_capacity_4ps(self):
+        geometry = Geometry(blocks_per_plane={PageKind.K4: 1024})
+        assert geometry.capacity_bytes() == 32 * 1024**3
+
+    def test_capacity_8ps(self):
+        geometry = Geometry(blocks_per_plane={PageKind.K8: 512})
+        assert geometry.capacity_bytes() == 32 * 1024**3
+
+    def test_capacity_hps(self):
+        geometry = Geometry(blocks_per_plane={PageKind.K4: 512, PageKind.K8: 256})
+        assert geometry.capacity_bytes() == 32 * 1024**3
+
+    def test_channel_striping_is_channel_first(self):
+        geometry = Geometry()
+        channels = [geometry.channel_of(p) for p in range(geometry.num_planes)]
+        assert channels == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_first_planes_cover_all_dies(self):
+        """Round-robin over the first num_dies planes must hit every die."""
+        geometry = Geometry()
+        dies = {geometry.die_of(p) for p in range(geometry.num_dies)}
+        assert dies == set(range(geometry.num_dies))
+
+    def test_decompose_round_trip(self):
+        geometry = Geometry()
+        seen = set()
+        for plane in range(geometry.num_planes):
+            parts = geometry.decompose(plane)
+            assert parts not in seen
+            seen.add(parts)
+            channel, chip, die, plane_in_die = parts
+            assert channel == geometry.channel_of(plane)
+            assert 0 <= chip < geometry.chips_per_channel
+            assert 0 <= die < geometry.dies_per_chip
+            assert 0 <= plane_in_die < geometry.planes_per_die
+
+    def test_out_of_range_plane_rejected(self):
+        with pytest.raises(ValueError):
+            Geometry().channel_of(8)
+
+    def test_kinds_sorted_small_first(self):
+        geometry = Geometry(blocks_per_plane={PageKind.K8: 1, PageKind.K4: 1})
+        assert geometry.kinds() == [PageKind.K4, PageKind.K8]
+
+    def test_multi_chip_die_indexing(self):
+        """dies and channels stay distinct with 2 chips per channel."""
+        geometry = Geometry(
+            channels=2, chips_per_channel=2, dies_per_chip=2, planes_per_die=2,
+            blocks_per_plane={PageKind.K4: 4}, pages_per_block=4,
+        )
+        assert geometry.num_planes == 16
+        assert geometry.num_dies == 8
+        dies = {geometry.die_of(p) for p in range(geometry.num_planes)}
+        assert dies == set(range(8))
+        # Each die is shared by exactly planes_per_die planes.
+        from collections import Counter
+        counts = Counter(geometry.die_of(p) for p in range(geometry.num_planes))
+        assert all(count == 2 for count in counts.values())
+        # A die belongs to exactly one channel.
+        for plane in range(geometry.num_planes):
+            die = geometry.die_of(plane)
+            channel = geometry.channel_of(plane)
+            for other in range(geometry.num_planes):
+                if geometry.die_of(other) == die:
+                    assert geometry.channel_of(other) == channel
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Geometry(channels=0)
+        with pytest.raises(ValueError):
+            Geometry(blocks_per_plane={})
+        with pytest.raises(ValueError):
+            Geometry(blocks_per_plane={PageKind.K4: 0})

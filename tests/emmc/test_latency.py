@@ -1,0 +1,39 @@
+"""Unit tests for the latency model."""
+
+import pytest
+
+from repro.emmc import LatencyParams, PageKind, PageTiming, TABLE_V_TIMINGS
+
+
+class TestTableV:
+    def test_values_match_paper(self):
+        assert TABLE_V_TIMINGS[PageKind.K4].read_us == 160.0
+        assert TABLE_V_TIMINGS[PageKind.K4].program_us == 1385.0
+        assert TABLE_V_TIMINGS[PageKind.K8].read_us == 244.0
+        assert TABLE_V_TIMINGS[PageKind.K8].program_us == 1491.0
+        assert LatencyParams().erase_us == 3800.0
+
+
+class TestLatencyParams:
+    def test_transfer_includes_command_overhead(self):
+        latency = LatencyParams(bus_bytes_per_us=64.0, command_overhead_us=10.0)
+        assert latency.transfer_us(6400) == pytest.approx(110.0)
+
+    def test_timing_lookup(self):
+        latency = LatencyParams()
+        assert latency.timing(PageKind.K8).program_us == 1491.0
+
+    def test_missing_kind_raises(self):
+        latency = LatencyParams(page={PageKind.K4: PageTiming(1.0, 2.0)})
+        with pytest.raises(KeyError):
+            latency.timing(PageKind.K8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageTiming(read_us=0.0, program_us=1.0)
+        with pytest.raises(ValueError):
+            LatencyParams(erase_us=0.0)
+        with pytest.raises(ValueError):
+            LatencyParams(command_overhead_us=-1.0)
+        with pytest.raises(ValueError):
+            LatencyParams(power_threshold_us=0.0)

@@ -1,0 +1,76 @@
+"""Unit tests for the power model and the optional RAM buffer."""
+
+import pytest
+
+from repro.emmc import PowerModel, PowerState, RamBuffer
+
+
+class TestPowerModel:
+    def test_starts_active(self):
+        power = PowerModel(power_threshold_us=100.0, warmup_us=10.0)
+        assert power.state_at(0.0) is PowerState.ACTIVE
+
+    def test_drops_to_low_power_after_threshold(self):
+        power = PowerModel(power_threshold_us=100.0, warmup_us=10.0)
+        power.record_activity_end(50.0)
+        assert power.state_at(140.0) is PowerState.ACTIVE
+        assert power.state_at(151.0) is PowerState.LOW_POWER
+
+    def test_wakeup_penalty_counts(self):
+        power = PowerModel(power_threshold_us=100.0, warmup_us=10.0)
+        power.record_activity_end(0.0)
+        assert power.wakeup_penalty(500.0) == 10.0
+        assert power.wakeups == 1
+        assert power.mode_switches == 2
+
+    def test_no_penalty_when_active(self):
+        power = PowerModel(power_threshold_us=100.0, warmup_us=10.0)
+        power.record_activity_end(0.0)
+        assert power.wakeup_penalty(50.0) == 0.0
+        assert power.wakeups == 0
+
+    def test_activity_end_monotonic(self):
+        power = PowerModel(power_threshold_us=100.0, warmup_us=10.0)
+        power.record_activity_end(100.0)
+        power.record_activity_end(50.0)
+        assert power.last_activity_end_us == 100.0
+
+
+class TestRamBuffer:
+    def test_needs_one_page(self):
+        with pytest.raises(ValueError):
+            RamBuffer(capacity_bytes=100)
+
+    def test_read_miss_then_write_hit(self):
+        buffer = RamBuffer(capacity_bytes=16 * 4096)
+        assert buffer.read([1, 2]) == [1, 2]  # cold: all miss
+        buffer.write([1])
+        assert buffer.read([1, 2]) == [2]  # 1 now cached (dirty)
+        assert buffer.stats.read_hits == 1
+        assert buffer.stats.read_misses == 3
+
+    def test_eviction_returns_dirty_lru(self):
+        buffer = RamBuffer(capacity_bytes=2 * 4096)
+        assert buffer.write([1, 2]) == []
+        evicted = buffer.write([3])
+        assert evicted == [1]  # LRU dirty page flushed
+        assert buffer.stats.flushed_pages == 1
+
+    def test_rewrite_refreshes_lru(self):
+        buffer = RamBuffer(capacity_bytes=2 * 4096)
+        buffer.write([1, 2])
+        buffer.write([1])  # refresh 1
+        assert buffer.write([3]) == [2]
+
+    def test_flush_all(self):
+        buffer = RamBuffer(capacity_bytes=8 * 4096)
+        buffer.write([1, 2, 3])
+        assert sorted(buffer.flush_all()) == [1, 2, 3]
+        assert len(buffer) == 0
+
+    def test_hit_rate(self):
+        buffer = RamBuffer(capacity_bytes=8 * 4096)
+        assert buffer.stats.read_hit_rate == 0.0
+        buffer.write([1])
+        buffer.read([1])
+        assert buffer.stats.read_hit_rate == 1.0

@@ -1,0 +1,53 @@
+"""Unit tests for DeviceStats derived metrics."""
+
+import pytest
+
+from repro.emmc import DeviceStats, PageKind
+
+
+class TestDerivedMetrics:
+    def test_means_from_samples(self):
+        stats = DeviceStats()
+        stats.response_us = [1000.0, 3000.0]
+        stats.service_us = [500.0, 1500.0]
+        assert stats.mean_response_ms == pytest.approx(2.0)
+        assert stats.mean_service_ms == pytest.approx(1.0)
+
+    def test_empty_means(self):
+        stats = DeviceStats()
+        assert stats.mean_response_ms == 0.0
+        assert stats.mean_service_ms == 0.0
+
+    def test_no_wait_ratio(self):
+        stats = DeviceStats()
+        stats.requests = 4
+        stats.no_wait_requests = 3
+        assert stats.no_wait_ratio == pytest.approx(0.75)
+
+    def test_space_utilization(self):
+        stats = DeviceStats()
+        stats.data_bytes_written = 20 * 1024
+        stats.flash_bytes_consumed = 24 * 1024
+        assert stats.space_utilization == pytest.approx(20 / 24)
+        assert stats.padding_bytes == 4 * 1024
+
+    def test_write_amplification_floor(self):
+        stats = DeviceStats()
+        stats.flash_bytes_consumed = 100
+        stats.page_programs = {}  # no program records -> no GC share
+        assert stats.write_amplification == 1.0
+
+    def test_write_amplification_with_gc(self):
+        stats = DeviceStats()
+        stats.flash_bytes_consumed = 8192
+        stats.page_programs = {PageKind.K4: 4}  # 16 KiB programmed total
+        assert stats.write_amplification == pytest.approx(2.0)
+
+    def test_record_op_counts_accumulates(self):
+        stats = DeviceStats()
+        stats.record_op_counts(PageKind.K4, reads=2)
+        stats.record_op_counts(PageKind.K4, reads=1, programs=3)
+        stats.record_op_counts(PageKind.K8, programs=1)
+        assert stats.page_reads[PageKind.K4] == 3
+        assert stats.page_programs[PageKind.K4] == 3
+        assert stats.page_programs[PageKind.K8] == 1

@@ -1,0 +1,37 @@
+"""Tests for the calibration-report experiment."""
+
+import pytest
+
+from repro.experiments import calibration
+
+
+class TestCellDelta:
+    def test_abs_tolerance(self):
+        cell = calibration._check("T", "write_req_pct", 52.0, 50.0)
+        assert cell.within_budget
+        assert cell.delta == pytest.approx(2.0)
+        assert not calibration._check("T", "write_req_pct", 60.0, 50.0).within_budget
+
+    def test_rel_tolerance(self):
+        assert calibration._check("T", "avg_size_kib", 12.0, 10.0).within_budget
+        assert not calibration._check("T", "avg_size_kib", 20.0, 10.0).within_budget
+
+    def test_zero_published_passes_rel(self):
+        assert calibration._check("T", "avg_size_kib", 5.0, 0.0).within_budget
+
+
+class TestQuickReport:
+    def test_quick_mode_skips_length_dependent_columns(self):
+        result = calibration.run(seed=5, num_requests=400)
+        columns = {d.column for d in result.data["deltas"]}
+        assert "duration_s" not in columns  # only checked at full length
+        assert "write_req_pct" in columns
+        assert "nowait_pct" in columns
+
+    def test_quick_mode_mostly_within_budget(self):
+        result = calibration.run(seed=5, num_requests=1500)
+        deltas = result.data["deltas"]
+        bad = result.data["out_of_budget"]
+        # Shortened traces add sampling noise (the budget is sized for the
+        # published trace lengths); the vast majority must still fit.
+        assert len(bad) <= len(deltas) * 0.10

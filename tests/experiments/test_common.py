@@ -1,0 +1,38 @@
+"""Tests for the experiment harness's shared caching layer."""
+
+from repro.experiments import common
+
+
+class TestCaching:
+    def test_traces_cached_per_key(self):
+        first = common.individual_traces(seed=42, num_requests=50)
+        second = common.individual_traces(seed=42, num_requests=50)
+        assert first[0] is second[0]  # same objects: cache hit
+
+    def test_distinct_keys_not_shared(self):
+        a = common.individual_traces(seed=42, num_requests=50)
+        b = common.individual_traces(seed=43, num_requests=50)
+        assert a[0] is not b[0]
+        assert [r.lba for r in a[0]] != [r.lba for r in b[0]]
+
+    def test_all_traces_superset_of_individual(self):
+        everything = common.all_traces(seed=42, num_requests=50)
+        names = [trace.name for trace in everything]
+        assert len(names) == 25
+        individual = [t.name for t in common.individual_traces(seed=42, num_requests=50)]
+        assert names[:18] == individual
+
+    def test_collections_cached(self):
+        first = common.replayed_individual(seed=42, num_requests=40)
+        second = common.replayed_individual(seed=42, num_requests=40)
+        assert first[0] is second[0]
+        assert all(result.trace.completed for result in first)
+
+    def test_replay_on_fresh_device(self):
+        from repro.emmc import four_ps
+
+        trace = common.individual_traces(seed=42, num_requests=30)[0]
+        first = common.replay_on(four_ps(), trace)
+        second = common.replay_on(four_ps(), trace)
+        # Brand-new device each time: identical stats.
+        assert first.stats.mean_response_ms == second.stats.mean_response_ms

@@ -1,0 +1,43 @@
+"""Tests for the extension experiments (SLC study, lifetime, implications)."""
+
+import pytest
+
+from repro.experiments import implications, lifetime, slc_study
+
+SEED = 88
+
+
+class TestSlcStudy:
+    def test_slc_beats_hps_on_small_request_apps(self):
+        result = slc_study.run(seed=SEED, num_requests=800,
+                               apps=["Messaging", "Twitter"])
+        for name, mrt in result.data["mrt"].items():
+            assert mrt["HPS-SLC"] < mrt["HPS"], name
+        assert result.data["capacities_gib"]["HPS-SLC"] == pytest.approx(24.0)
+        assert result.data["capacities_gib"]["HPS"] == pytest.approx(32.0)
+
+
+class TestLifetime:
+    def test_8ps_wears_blocks_fastest(self):
+        result = lifetime.run(seed=SEED, num_requests=1500, rounds=4)
+        data = result.data
+        # The paper's lifetime argument: fewer, larger pages -> each block
+        # turns over more often under small random writes.
+        assert data["8PS"]["mean_block_cycles"] > data["4PS"]["mean_block_cycles"]
+        # Padding shows up as write amplification on 8PS.
+        assert data["8PS"]["write_amplification"] > 1.05
+        assert data["4PS"]["write_amplification"] == pytest.approx(1.0, abs=0.01)
+        for scheme in ("4PS", "8PS", "HPS"):
+            assert data[scheme]["erases"] > 0
+
+
+class TestImplications:
+    def test_all_five_reported(self):
+        result = implications.run(seed=SEED, num_requests=800)
+        assert set(result.data) == {"impl1", "impl2", "impl3", "impl4", "impl5"}
+        impl1 = result.data["impl1"]
+        assert impl1[1] > impl1[2]  # one channel is clearly worse
+        impl2 = result.data["impl2"]
+        assert impl2["foreground_gc_with_idle"] < impl2["foreground_gc_threshold_only"]
+        assert result.data["impl3"]["read_hit_rate"] < 0.5
+        assert result.data["impl5"]["traces_with_4k_majority"] >= 13

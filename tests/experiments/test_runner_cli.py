@@ -1,0 +1,38 @@
+"""Tests for the repro-experiments CLI entry point."""
+
+import json
+
+from repro.experiments import runner
+
+
+class TestMain:
+    def test_single_quick_experiment(self, capsys, tmp_path):
+        output = tmp_path / "report.txt"
+        json_path = tmp_path / "data.json"
+        code = runner.main(
+            ["fig4", "--quick", "--seed", "3",
+             "--output", str(output), "--json", str(json_path)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "fig4" in printed
+        assert "finished in" in printed
+        assert "Request size distributions" in output.read_text()
+        data = json.loads(json_path.read_text())
+        assert "fig4" in data
+        assert "histograms" in data["fig4"]
+        assert "Twitter" in data["fig4"]["histograms"]
+
+    def test_jsonable_handles_everything(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Point:
+            x: int
+
+        value = {"a": [Point(1), (2, 3)], 4: {"b": None, "c": object()}}
+        converted = runner._jsonable(value)
+        assert converted["a"][0] == {"x": 1}
+        assert converted["4"]["b"] is None
+        assert isinstance(converted["4"]["c"], str)
+        json.dumps(converted)  # fully serializable

@@ -1,0 +1,71 @@
+"""Tests for the remaining extension studies (power, sensitivity, sdcard)."""
+
+import pytest
+
+from repro.experiments import power_study, sdcard_study, sensitivity
+from repro.experiments.sdcard_study import sdcard_config, split_trace
+from repro.workloads import generate_trace
+
+SEED = 99
+
+
+class TestPowerStudy:
+    def test_tradeoff_shape(self):
+        result = power_study.run(
+            seed=SEED, num_requests=600,
+            thresholds_us=(10_000.0, 1_000_000.0, float("inf")),
+        )
+        data = result.data
+        labels = list(data)
+        # Longer thresholds: fewer wake-ups, lower MRT, more energy.
+        assert data[labels[0]]["wakeups"] > data[labels[1]]["wakeups"]
+        assert data["never"]["wakeups"] == 0
+        assert data[labels[0]]["mrt_ms"] >= data["never"]["mrt_ms"]
+        assert data[labels[0]]["energy_mj"] < data["never"]["energy_mj"]
+
+
+class TestSensitivity:
+    def test_queueing_amplifies_hps_advantage(self):
+        result = sensitivity.run(
+            seed=SEED, num_requests=1200, factors=(1.0, 8.0)
+        )
+        curves = result.data["curves"]
+        # MRT grows with load for every scheme.
+        for name in ("4PS", "8PS", "HPS"):
+            assert curves[name][1] > curves[name][0]
+        # HPS's relative advantage over 4PS grows with load.
+        light = curves["HPS"][0] / curves["4PS"][0]
+        heavy = curves["HPS"][1] / curves["4PS"][1]
+        assert heavy < light
+
+
+class TestSdcardStudy:
+    def test_split_is_deterministic_partition(self):
+        trace = generate_trace("Email", seed=SEED, num_requests=400)
+        parts = split_trace(trace, 0.4)
+        assert len(parts["internal"]) + len(parts["external"]) == 400
+        again = split_trace(trace, 0.4)
+        assert [r.lba for r in parts["external"]] == [r.lba for r in again["external"]]
+
+    def test_extremes(self):
+        trace = generate_trace("Email", seed=SEED, num_requests=200)
+        assert len(split_trace(trace, 0.0)["external"]) == 0
+        assert len(split_trace(trace, 1.0)["internal"]) == 0
+        with pytest.raises(ValueError):
+            split_trace(trace, 1.5)
+
+    def test_sdcard_is_slower_than_emmc(self):
+        from repro.trace import KIB, Op, Request
+        from repro.emmc import EmmcDevice, four_ps
+
+        request = Request(0.0, 0, 16 * KIB, Op.READ)
+        emmc = EmmcDevice(four_ps()).submit(request)
+        card = EmmcDevice(sdcard_config()).submit(request)
+        assert card.service_us > 2 * emmc.service_us
+
+    def test_offloading_degrades_mrt(self):
+        result = sdcard_study.run(
+            seed=SEED, num_requests=1000, fractions=(0.0, 0.5)
+        )
+        data = result.data["mrt_by_fraction"]
+        assert data[0.5] > data[0.0]

@@ -1,0 +1,70 @@
+"""Tests for the repro-trace command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.trace import read_trace
+
+
+class TestList:
+    def test_lists_all_apps(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Twitter" in out
+        assert "Music/WB" in out
+
+
+class TestGenerate:
+    def test_writes_csv(self, tmp_path, capsys):
+        path = tmp_path / "t.csv"
+        assert main(["generate", "Email", "-o", str(path), "--requests", "50"]) == 0
+        trace = read_trace(path)
+        assert len(trace) == 50
+        assert not trace.completed
+
+    def test_rejects_unknown_app(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "Nope", "-o", str(tmp_path / "t.csv")])
+
+
+class TestCollect:
+    def test_writes_completed_trace(self, tmp_path):
+        path = tmp_path / "t.csv"
+        assert main(["collect", "Email", "-o", str(path), "--requests", "60"]) == 0
+        trace = read_trace(path)
+        assert len(trace) == 60
+        assert trace.completed
+
+
+class TestStack:
+    def test_writes_mechanistic_trace(self, tmp_path):
+        path = tmp_path / "t.csv"
+        assert main(["stack", "Messaging", "-o", str(path), "--duration", "60"]) == 0
+        assert len(read_trace(path)) > 0
+
+
+class TestConvert:
+    def test_blkparse_to_csv(self, tmp_path, capsys):
+        source = tmp_path / "blk.txt"
+        source.write_text(
+            "8,16 1 1 0.000100000 1 Q W 8 + 8 [x]\n"
+            "8,16 1 2 0.000200000 1 D W 8 + 8 [x]\n"
+            "8,16 1 3 0.001000000 0 C W 8 + 8 [0]\n"
+        )
+        out = tmp_path / "trace.csv"
+        assert main(["convert", str(source), "-o", str(out)]) == 0
+        trace = read_trace(out)
+        assert len(trace) == 1
+        assert trace[0].completed
+        assert "1 with full timestamps" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_prints_statistics(self, tmp_path, capsys):
+        path = tmp_path / "t.csv"
+        main(["collect", "Email", "-o", str(path), "--requests", "40"])
+        capsys.readouterr()
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "No-wait" in out
+        assert "Arrival rate" in out

@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs successfully."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_hps_structure(self):
+        result = _run("hps_structure.py")
+        assert result.returncode == 0, result.stderr
+        assert "8K + 8K + 4K" in result.stdout
+
+    def test_quickstart(self):
+        result = _run("quickstart.py", "YouTube")
+        assert result.returncode == 0, result.stderr
+        assert "HPS" in result.stdout
+
+    def test_quickstart_rejects_unknown(self):
+        result = _run("quickstart.py", "NotAnApp")
+        assert result.returncode != 0
+
+    def test_characterize_quick(self):
+        result = _run("characterize_workload.py", "Email", "--quick")
+        assert result.returncode == 0, result.stderr
+        assert "Table III row" in result.stdout
+        assert "Fig. 6 row" in result.stdout
+
+    def test_android_stack(self):
+        result = _run("android_stack_trace.py", "Messaging", "120")
+        assert result.returncode == 0, result.stderr
+        assert "SQLite" in result.stdout
+
+    def test_replay_blktrace_sample(self):
+        result = _run("replay_blktrace.py")
+        assert result.returncode == 0, result.stderr
+        assert "Replay on the three Table V designs" in result.stdout
+
+    @pytest.mark.slow
+    def test_design_space(self):
+        result = _run("design_space.py", "YouTube", timeout=500)
+        assert result.returncode == 0, result.stderr
+        assert "Designs ranked" in result.stdout
+
+    @pytest.mark.slow
+    def test_hps_vs_baselines(self):
+        result = _run("hps_vs_baselines.py", "YouTube", timeout=400)
+        assert result.returncode == 0, result.stderr
+        assert "Case study" in result.stdout

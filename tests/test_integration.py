@@ -1,0 +1,59 @@
+"""End-to-end integration tests across all subsystems."""
+
+import pytest
+
+from repro.trace import dumps, loads
+from repro.analysis import size_stats, timing_stats
+from repro.android import collect_trace as android_collect
+from repro.emmc import EmmcDevice, eight_ps, four_ps, hps
+from repro.workloads import collect, generate_trace
+
+
+class TestGenerateReplayAnalyzeRoundTrip:
+    def test_full_pipeline(self):
+        """Generate -> serialize -> replay on all schemes -> characterize."""
+        trace = generate_trace("Facebook", num_requests=600)
+        restored = loads(dumps(trace))
+        results = {
+            config.name: EmmcDevice(config).replay(restored.without_timing())
+            for config in (four_ps(), eight_ps(), hps())
+        }
+        for result in results.values():
+            assert result.trace.completed
+            stats = timing_stats(result.trace)
+            assert stats.mean_response_ms > 0
+        # The headline orderings of Figs. 8 and 9.
+        assert results["HPS"].stats.mean_response_ms <= results["4PS"].stats.mean_response_ms
+        assert results["HPS"].stats.space_utilization > results["8PS"].stats.space_utilization
+        assert results["HPS"].stats.space_utilization == 1.0
+
+    def test_8ps_close_to_hps_on_mrt(self):
+        """The paper: '8PS has a very similar performance to HPS'."""
+        trace = generate_trace("Installing", num_requests=800)
+        mrts = {
+            config.name: EmmcDevice(config).replay(trace.without_timing()).stats.mean_response_ms
+            for config in (eight_ps(), hps())
+        }
+        assert mrts["8PS"] == pytest.approx(mrts["HPS"], rel=0.15)
+
+
+class TestCollectionVsReplayConsistency:
+    def test_collected_trace_replays_identically_shaped(self):
+        collected = collect("Email", num_requests=500).trace
+        replayed = EmmcDevice(four_ps()).replay(collected.without_timing())
+        assert size_stats(replayed.trace).num_requests == 500
+        # Same request attributes before/after replay.
+        assert [(r.lba, r.size) for r in collected] == [
+            (r.lba, r.size) for r in replayed.trace
+        ]
+
+
+class TestAndroidStackToAnalysis:
+    def test_mechanistic_trace_is_analyzable(self):
+        result = android_collect("WebBrowsing", duration_s=90, seed=11)
+        stats = size_stats(result.trace)
+        assert stats.num_requests > 10
+        timing = timing_stats(result.trace)
+        assert timing.mean_response_ms > 0
+        # The mechanistic stack reproduces the write-dominance mechanism.
+        assert stats.write_req_pct > 50

@@ -1,0 +1,74 @@
+"""Unit tests for the blkparse importer."""
+
+import pytest
+
+from repro.trace import Op, parse_blkparse
+
+SAMPLE = """\
+8,16   1     1     0.000100000  1234  Q  W  8 + 8 [app]
+8,16   1     2     0.000200000  1234  D  W  8 + 8 [app]
+8,16   1     3     0.001500000     0  C  W  8 + 8 [0]
+8,16   1     4     0.002000000  1234  Q  R  1024 + 16 [app]
+8,16   1     5     0.002100000  1234  D  R  1024 + 16 [app]
+8,16   1     6     0.002900000     0  C  R  1024 + 16 [0]
+"""
+
+
+class TestParsing:
+    def test_matched_qdc_triples(self):
+        trace = parse_blkparse(SAMPLE, name="sample")
+        assert len(trace) == 2
+        write, read = trace[0], trace[1]
+        assert write.op is Op.WRITE
+        assert write.arrival_us == pytest.approx(100.0)
+        assert write.service_start_us == pytest.approx(200.0)
+        assert write.finish_us == pytest.approx(1500.0)
+        assert read.op is Op.READ
+
+    def test_sector_to_byte_conversion_and_alignment(self):
+        trace = parse_blkparse(SAMPLE)
+        # Sector 8 = byte 4096; 8 sectors = 4096 bytes.
+        assert trace[0].lba == 4096
+        assert trace[0].size == 4096
+        # Sector 1024 = byte 524288; 16 sectors = 8192 bytes.
+        assert trace[1].lba == 524288
+        assert trace[1].size == 8192
+
+    def test_unaligned_extents_rounded_to_pages(self):
+        text = (
+            "8,16 1 1 0.000000000 1 Q W 3 + 5 [x]\n"
+            "8,16 1 2 0.000500000 0 C W 3 + 5 [0]\n"
+        )
+        trace = parse_blkparse(text)
+        assert trace[0].lba == 0  # 3*512 aligned down
+        assert trace[0].size == 4096  # 5*512 = 2560 aligned up
+
+    def test_queue_without_completion_kept_unreplayed(self):
+        text = "8,16 1 1 0.000000000 1 Q R 8 + 8 [x]\n"
+        trace = parse_blkparse(text)
+        assert len(trace) == 1
+        assert not trace[0].completed
+
+    def test_completion_without_queue(self):
+        text = "8,16 1 1 0.005000000 0 C W 8 + 8 [0]\n"
+        trace = parse_blkparse(text)
+        assert len(trace) == 1
+        assert trace[0].completed
+        assert trace[0].wait_us == 0.0
+
+    def test_non_data_lines_skipped(self):
+        text = (
+            "CPU0 (8,16):\n"
+            " Reads Queued:          1,        4KiB\n"
+            "8,16 1 1 0.000000000 1 Q N 0 + 0 [x]\n"
+            + SAMPLE
+        )
+        assert len(parse_blkparse(text)) == 2
+
+    def test_file_input(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text(SAMPLE)
+        assert len(parse_blkparse(path)) == 2
+
+    def test_metadata_marks_source(self):
+        assert parse_blkparse(SAMPLE).metadata["source"] == "blkparse"

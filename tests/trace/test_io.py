@@ -1,0 +1,68 @@
+"""Unit tests for trace CSV serialization."""
+
+import io
+
+import pytest
+
+from repro.trace import Op, Request, Trace, dumps, loads, read_trace, write_trace
+
+
+def _trace():
+    return Trace(
+        name="demo",
+        requests=[
+            Request(0.0, 0, 4096, Op.WRITE),
+            Request(10.5, 8192, 8192, Op.READ, service_start_us=10.5, finish_us=300.25),
+        ],
+        metadata={"seed": "7", "profile": "Twitter"},
+    )
+
+
+class TestRoundTrip:
+    def test_dumps_loads(self):
+        original = _trace()
+        restored = loads(dumps(original))
+        assert restored.name == original.name
+        assert restored.metadata == original.metadata
+        assert len(restored) == len(original)
+        for a, b in zip(original, restored):
+            assert a == b
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "demo.csv"
+        write_trace(_trace(), path)
+        restored = read_trace(path)
+        assert restored.name == "demo"
+        assert restored[1].finish_us == 300.25
+
+    def test_handle_round_trip(self):
+        buffer = io.StringIO()
+        write_trace(_trace(), buffer)
+        buffer.seek(0)
+        assert len(read_trace(buffer)) == 2
+
+    def test_timestamps_precise(self):
+        trace = Trace("t", [Request(0.123456789, 0, 4096, Op.READ)])
+        assert loads(dumps(trace))[0].arrival_us == 0.123456789
+
+    def test_uncompleted_fields_stay_none(self):
+        restored = loads(dumps(_trace()))
+        assert restored[0].service_start_us is None
+        assert restored[0].finish_us is None
+
+
+class TestErrors:
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="unexpected trace header"):
+            loads("a,b,c\n1,2,3\n")
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "stemname.csv"
+        trace = _trace()
+        text = dumps(trace)
+        # Drop the name metadata line.
+        stripped = "\n".join(
+            line for line in text.splitlines() if not line.startswith("# name")
+        )
+        path.write_text(stripped + "\n")
+        assert read_trace(path).name == "stemname"

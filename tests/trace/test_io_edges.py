@@ -1,0 +1,48 @@
+"""Edge cases for trace serialization and the container."""
+
+import pytest
+
+from repro.trace import Op, Request, Trace, dumps, loads
+
+
+class TestSerializationEdges:
+    def test_empty_trace_round_trip(self):
+        trace = Trace("empty", metadata={"note": "nothing here"})
+        restored = loads(dumps(trace))
+        assert restored.name == "empty"
+        assert len(restored) == 0
+        assert restored.metadata["note"] == "nothing here"
+
+    def test_metadata_value_containing_equals(self):
+        trace = Trace("t", [Request(0.0, 0, 4096, Op.READ)],
+                      metadata={"cmdline": "a=b=c"})
+        restored = loads(dumps(trace))
+        assert restored.metadata["cmdline"] == "a=b=c"
+
+    def test_huge_timestamps_survive(self):
+        request = Request(1e12 + 0.5, 0, 4096, Op.WRITE)
+        restored = loads(dumps(Trace("t", [request])))
+        assert restored[0].arrival_us == 1e12 + 0.5
+
+    def test_identical_arrivals_preserved(self):
+        requests = [Request(5.0, i * 4096, 4096, Op.WRITE) for i in range(3)]
+        restored = loads(dumps(Trace("t", requests)))
+        assert len(restored) == 3
+        assert all(r.arrival_us == 5.0 for r in restored)
+
+
+class TestContainerEdges:
+    def test_rebased_empty(self):
+        assert len(Trace("e").rebased()) == 0
+
+    def test_window_empty_result(self):
+        trace = Trace("t", [Request(100.0, 0, 4096, Op.READ)])
+        assert len(trace.window(0.0, 50.0)) == 0
+
+    def test_only_on_empty(self):
+        assert len(Trace("e").only(Op.READ)) == 0
+
+    def test_single_request_interarrival(self):
+        trace = Trace("t", [Request(0.0, 0, 4096, Op.READ)])
+        assert trace.inter_arrival_us() == []
+        assert trace.duration_us == 0.0

@@ -1,0 +1,122 @@
+"""Unit tests for the request record model."""
+
+import pytest
+
+from repro.trace import Op, Request, SECTOR
+
+
+class TestOp:
+    def test_parse_short_forms(self):
+        assert Op.parse("R") is Op.READ
+        assert Op.parse("w") is Op.WRITE
+
+    def test_parse_full_words(self):
+        assert Op.parse("read") is Op.READ
+        assert Op.parse("WRITE") is Op.WRITE
+
+    def test_parse_strips_whitespace(self):
+        assert Op.parse("  R ") is Op.READ
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unknown access type"):
+            Op.parse("X")
+
+    def test_str(self):
+        assert str(Op.READ) == "R"
+        assert str(Op.WRITE) == "W"
+
+
+class TestRequestValidation:
+    def test_valid_minimal(self):
+        request = Request(arrival_us=0.0, lba=0, size=SECTOR, op=Op.READ)
+        assert request.pages == 1
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError, match="arrival_us"):
+            Request(arrival_us=-1.0, lba=0, size=SECTOR, op=Op.READ)
+
+    def test_unaligned_lba_rejected(self):
+        with pytest.raises(ValueError, match="lba"):
+            Request(arrival_us=0.0, lba=123, size=SECTOR, op=Op.READ)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            Request(arrival_us=0.0, lba=0, size=0, op=Op.READ)
+
+    def test_unaligned_size_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            Request(arrival_us=0.0, lba=0, size=SECTOR + 1, op=Op.READ)
+
+    def test_service_before_arrival_rejected(self):
+        with pytest.raises(ValueError, match="precedes arrival"):
+            Request(arrival_us=10.0, lba=0, size=SECTOR, op=Op.READ,
+                    service_start_us=5.0)
+
+    def test_finish_without_service_start_rejected(self):
+        with pytest.raises(ValueError, match="without service_start"):
+            Request(arrival_us=0.0, lba=0, size=SECTOR, op=Op.READ,
+                    service_start_us=None, finish_us=5.0)
+
+    def test_finish_before_service_rejected(self):
+        with pytest.raises(ValueError, match="precedes service_start"):
+            Request(arrival_us=0.0, lba=0, size=SECTOR, op=Op.READ,
+                    service_start_us=10.0, finish_us=5.0)
+
+
+class TestDerivedQuantities:
+    def test_end_lba_and_pages(self):
+        request = Request(arrival_us=0.0, lba=8192, size=3 * SECTOR, op=Op.WRITE)
+        assert request.end_lba == 8192 + 3 * SECTOR
+        assert request.pages == 3
+
+    def test_is_read_write(self):
+        read = Request(arrival_us=0.0, lba=0, size=SECTOR, op=Op.READ)
+        write = Request(arrival_us=0.0, lba=0, size=SECTOR, op=Op.WRITE)
+        assert read.is_read and not read.is_write
+        assert write.is_write and not write.is_read
+
+    def test_timing_properties(self):
+        request = Request(arrival_us=100.0, lba=0, size=SECTOR, op=Op.READ,
+                          service_start_us=150.0, finish_us=400.0)
+        assert request.wait_us == 50.0
+        assert request.service_us == 250.0
+        assert request.response_us == 300.0
+        assert not request.no_wait
+
+    def test_no_wait_when_served_immediately(self):
+        request = Request(arrival_us=100.0, lba=0, size=SECTOR, op=Op.READ,
+                          service_start_us=100.0, finish_us=400.0)
+        assert request.no_wait
+
+    def test_timing_requires_completion(self):
+        request = Request(arrival_us=0.0, lba=0, size=SECTOR, op=Op.READ)
+        assert not request.completed
+        with pytest.raises(ValueError, match="no device timestamps"):
+            _ = request.response_us
+
+
+class TestTransformations:
+    def test_with_timing(self):
+        request = Request(arrival_us=0.0, lba=0, size=SECTOR, op=Op.READ)
+        timed = request.with_timing(service_start_us=10.0, finish_us=20.0)
+        assert timed.completed
+        assert timed.service_us == 10.0
+        assert not request.completed  # original untouched
+
+    def test_without_timing(self):
+        timed = Request(arrival_us=0.0, lba=0, size=SECTOR, op=Op.READ,
+                        service_start_us=1.0, finish_us=2.0)
+        assert not timed.without_timing().completed
+
+    def test_shifted_moves_all_timestamps(self):
+        timed = Request(arrival_us=10.0, lba=0, size=SECTOR, op=Op.READ,
+                        service_start_us=11.0, finish_us=12.0)
+        shifted = timed.shifted(100.0)
+        assert shifted.arrival_us == 110.0
+        assert shifted.service_start_us == 111.0
+        assert shifted.finish_us == 112.0
+
+    def test_shifted_uncompleted(self):
+        request = Request(arrival_us=10.0, lba=0, size=SECTOR, op=Op.READ)
+        assert request.shifted(5.0).arrival_us == 15.0
+        assert request.shifted(5.0).service_start_us is None

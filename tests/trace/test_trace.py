@@ -1,0 +1,101 @@
+"""Unit tests for the trace container."""
+
+import pytest
+
+from repro.trace import Op, Request, Trace, merge
+
+
+def _req(at, lba, size=4096, op=Op.WRITE):
+    return Request(arrival_us=at, lba=lba, size=size, op=op)
+
+
+class TestContainer:
+    def test_sorts_on_construction(self):
+        trace = Trace("t", [_req(100, 0), _req(50, 4096)])
+        assert [r.arrival_us for r in trace] == [50, 100]
+
+    def test_len_iter_getitem_bool(self, small_trace):
+        assert len(small_trace) == 5
+        assert list(small_trace)[0] is small_trace[0]
+        assert bool(small_trace)
+        assert not Trace("empty")
+
+
+class TestAggregates:
+    def test_reads_writes_split(self, small_trace):
+        assert len(small_trace.reads) == 2
+        assert len(small_trace.writes) == 3
+
+    def test_byte_totals(self, small_trace):
+        assert small_trace.total_bytes == 8192 + 4096 + 4096 + 16384 + 4096
+        assert small_trace.written_bytes == 8192 + 4096 + 4096
+        assert small_trace.read_bytes == 4096 + 16384
+
+    def test_duration_from_arrivals(self, small_trace):
+        assert small_trace.duration_us == 900.0
+
+    def test_duration_includes_finish_times(self, completed_trace):
+        assert completed_trace.end_us == 5400.0
+
+    def test_empty_trace_durations(self):
+        empty = Trace("empty")
+        assert empty.duration_us == 0.0
+        assert empty.arrival_rate() == 0.0
+        assert empty.access_rate_kib_s() == 0.0
+
+    def test_arrival_rate(self):
+        trace = Trace("t", [_req(0, 0), _req(1_000_000, 4096)])
+        assert trace.arrival_rate() == pytest.approx(2.0)
+
+    def test_access_rate(self):
+        trace = Trace("t", [_req(0, 0, 8192), _req(1_000_000, 8192, 8192)])
+        assert trace.access_rate_kib_s() == pytest.approx(16.0)
+
+    def test_inter_arrival(self, small_trace):
+        assert small_trace.inter_arrival_us() == [100.0, 150.0, 150.0, 500.0]
+
+
+class TestTransformations:
+    def test_filter(self, small_trace):
+        big = small_trace.filter(lambda r: r.size > 4096, name="big")
+        assert big.name == "big"
+        assert len(big) == 2
+
+    def test_only(self, small_trace):
+        reads = small_trace.only(Op.READ)
+        assert all(r.is_read for r in reads)
+        assert reads.name == "small[R]"
+
+    def test_window(self, small_trace):
+        mid = small_trace.window(100.0, 400.0)
+        assert len(mid) == 2  # arrivals at 100 and 250
+
+    def test_without_timing(self, completed_trace):
+        assert not any(r.completed for r in completed_trace.without_timing())
+
+    def test_rebased(self):
+        trace = Trace("t", [_req(500, 0), _req(700, 4096)])
+        rebased = trace.rebased()
+        assert rebased.start_us == 0.0
+        assert rebased.duration_us == 200.0
+
+    def test_with_requests_keeps_metadata(self, small_trace):
+        small_trace.metadata["k"] = "v"
+        copy = small_trace.with_requests(small_trace.requests[:2])
+        assert len(copy) == 2
+        assert copy.metadata["k"] == "v"
+
+
+class TestMerge:
+    def test_merge_orders_by_arrival(self):
+        first = Trace("a", [_req(0, 0), _req(500, 4096)])
+        second = Trace("b", [_req(250, 8192)])
+        merged = merge("ab", first, second)
+        assert [r.arrival_us for r in merged] == [0, 250, 500]
+
+    def test_merge_namespaces_metadata(self):
+        first = Trace("a", [_req(0, 0)], metadata={"seed": "1"})
+        second = Trace("b", [_req(1, 4096)], metadata={"seed": "2"})
+        merged = merge("ab", first, second)
+        assert merged.metadata["a.seed"] == "1"
+        assert merged.metadata["b.seed"] == "2"

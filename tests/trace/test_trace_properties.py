@@ -1,0 +1,55 @@
+"""Property-based tests for the trace model (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import Op, Request, SECTOR, Trace, dumps, loads
+
+requests_strategy = st.lists(
+    st.builds(
+        Request,
+        arrival_us=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        lba=st.integers(min_value=0, max_value=2**20).map(lambda n: n * SECTOR),
+        size=st.integers(min_value=1, max_value=64).map(lambda n: n * SECTOR),
+        op=st.sampled_from([Op.READ, Op.WRITE]),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+@given(requests=requests_strategy)
+@settings(max_examples=60)
+def test_csv_round_trip_is_identity(requests):
+    original = Trace("prop", requests)
+    restored = loads(dumps(original))
+    assert list(restored) == list(original)
+
+
+@given(requests=requests_strategy)
+@settings(max_examples=60)
+def test_trace_is_sorted_by_arrival(requests):
+    trace = Trace("prop", requests)
+    arrivals = [r.arrival_us for r in trace]
+    assert arrivals == sorted(arrivals)
+
+
+@given(requests=requests_strategy, delta=st.floats(min_value=0, max_value=1e6))
+@settings(max_examples=60)
+def test_rebased_preserves_gaps(requests, delta):
+    trace = Trace("prop", [r.shifted(delta) for r in requests])
+    rebased = trace.rebased()
+    for before, after in zip(trace.inter_arrival_us(), rebased.inter_arrival_us()):
+        # Shifting is float arithmetic; gaps agree up to round-off.
+        assert after == pytest.approx(before, abs=1e-6, rel=1e-9)
+    if len(rebased):
+        assert rebased.start_us == 0.0
+
+
+@given(requests=requests_strategy)
+@settings(max_examples=60)
+def test_reads_plus_writes_partition_trace(requests):
+    trace = Trace("prop", requests)
+    assert len(trace.reads) + len(trace.writes) == len(trace)
+    assert trace.read_bytes + trace.written_bytes == trace.total_bytes

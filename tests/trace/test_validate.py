@@ -1,0 +1,41 @@
+"""Unit tests for trace validation."""
+
+import pytest
+
+from repro.trace import (
+    Op,
+    Request,
+    Trace,
+    TraceValidationError,
+    collect_problems,
+    validate_trace,
+)
+
+
+def _trace(*requests):
+    return Trace("t", list(requests))
+
+
+class TestValidate:
+    def test_clean_trace_passes(self, small_trace):
+        validate_trace(small_trace)
+
+    def test_capacity_violation_detected(self):
+        trace = _trace(Request(0.0, 4096, 8192, Op.WRITE))
+        problems = collect_problems(trace, device_bytes=8192)
+        assert any("beyond device capacity" in p for p in problems)
+        with pytest.raises(TraceValidationError):
+            validate_trace(trace, device_bytes=8192)
+
+    def test_capacity_fit_passes(self):
+        trace = _trace(Request(0.0, 0, 8192, Op.WRITE))
+        validate_trace(trace, device_bytes=8192)
+
+    def test_problem_list_truncated_in_message(self):
+        requests = [Request(0.0, i * 4096, 4096, Op.WRITE) for i in range(10)]
+        trace = _trace(*requests)
+        with pytest.raises(TraceValidationError, match="more"):
+            validate_trace(trace, device_bytes=4096)
+
+    def test_empty_trace_passes(self):
+        validate_trace(Trace("empty"))

@@ -1,0 +1,77 @@
+"""Unit tests for the locality-calibrated address model."""
+
+import numpy as np
+import pytest
+
+from repro.trace import MIB, SECTOR
+from repro.workloads.addresses import AccessMode, AddressModel
+
+
+def _model(spatial=0.3, temporal=0.3, start=0, size=64 * MIB):
+    return AddressModel(
+        spatial=spatial, temporal=temporal, footprint_start=start, footprint_bytes=size
+    )
+
+
+class TestValidation:
+    def test_locality_budget_enforced(self):
+        with pytest.raises(ValueError):
+            _model(spatial=0.6, temporal=0.5)
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            _model(start=100)
+        with pytest.raises(ValueError):
+            _model(size=5000)
+
+    def test_empty_footprint_rejected(self):
+        with pytest.raises(ValueError):
+            _model(size=0)
+
+
+class TestChooseMode:
+    def test_mode_frequencies(self, rng):
+        model = _model(spatial=0.25, temporal=0.35)
+        modes = [model.choose_mode(rng) for _ in range(20_000)]
+        seq = sum(1 for m in modes if m is AccessMode.SEQUENTIAL) / len(modes)
+        tmp = sum(1 for m in modes if m is AccessMode.TEMPORAL) / len(modes)
+        assert seq == pytest.approx(0.25, abs=0.02)
+        assert tmp == pytest.approx(0.35, abs=0.02)
+
+
+class TestSampler:
+    def test_sequential_continues_previous(self, rng):
+        sampler = _model().sampler(rng)
+        first = sampler.next_address(AccessMode.FRESH, 8192)
+        second = sampler.next_address(AccessMode.SEQUENTIAL, 4096)
+        assert second == first + 8192
+
+    def test_sequential_falls_back_without_predecessor(self, rng):
+        sampler = _model().sampler(rng)
+        address = sampler.next_address(AccessMode.SEQUENTIAL, 4096)
+        assert address % SECTOR == 0  # fresh fallback, still valid
+
+    def test_temporal_rehits_history(self, rng):
+        sampler = _model().sampler(rng)
+        seen = {sampler.next_address(AccessMode.FRESH, 4096) for _ in range(5)}
+        hit = sampler.next_address(AccessMode.TEMPORAL, 4096)
+        assert hit in seen
+
+    def test_addresses_stay_in_footprint(self, rng):
+        model = _model(start=128 * MIB, size=64 * MIB)
+        sampler = model.sampler(rng)
+        for _ in range(500):
+            mode = model.choose_mode(rng)
+            size = int(rng.integers(1, 17)) * SECTOR
+            address = sampler.next_address(mode, size)
+            assert 128 * MIB <= address
+            assert address + size <= 192 * MIB
+
+    def test_sequential_overflow_redirected(self, rng):
+        model = _model(size=1 * MIB)
+        sampler = model.sampler(rng)
+        # Walk sequentially until the footprint edge forces a redirect.
+        sampler.next_address(AccessMode.FRESH, 512 * 1024)
+        for _ in range(10):
+            address = sampler.next_address(AccessMode.SEQUENTIAL, 512 * 1024)
+            assert address + 512 * 1024 <= 1 * MIB

@@ -1,0 +1,62 @@
+"""Unit tests for the burst/gap arrival model."""
+
+import numpy as np
+import pytest
+
+from repro.trace import US_PER_MS
+from repro.workloads.arrivals import ArrivalModel, calibrate
+
+
+class TestCalibrate:
+    def test_mean_matches_target(self):
+        model = calibrate(200_000.0, burst_frac=0.6, burst_mean_ms=1.5)
+        assert model.mean_us == pytest.approx(200_000.0)
+
+    def test_burst_mean_compressed_when_too_long(self):
+        # A 4 ms burst mean cannot fit a 2 ms overall target.
+        model = calibrate(2_000.0, burst_frac=0.5, burst_mean_ms=4.0)
+        assert model.burst_mean_us == pytest.approx(1_000.0)
+        assert model.mean_us == pytest.approx(2_000.0)
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            calibrate(0.0, 0.5, 1.0)
+
+
+class TestValidation:
+    def test_rejects_bad_burst_frac(self):
+        with pytest.raises(ValueError):
+            ArrivalModel(burst_frac=1.0, burst_mean_us=100.0, gap_mean_us=1000.0)
+
+    def test_rejects_nonpositive_means(self):
+        with pytest.raises(ValueError):
+            ArrivalModel(burst_frac=0.5, burst_mean_us=0.0, gap_mean_us=1000.0)
+
+
+class TestSampling:
+    def test_sample_count_and_monotonicity(self, rng):
+        model = calibrate(50_000.0, 0.6, 1.0)
+        arrivals = model.sample_arrivals(500, rng)
+        assert len(arrivals) == 500
+        assert arrivals[0] == 0.0
+        assert (np.diff(arrivals) >= 0).all()
+
+    def test_empty_and_single(self, rng):
+        model = calibrate(50_000.0, 0.6, 1.0)
+        assert len(model.sample_arrivals(0, rng)) == 0
+        assert list(model.sample_arrivals(1, rng)) == [0.0]
+
+    def test_empirical_mean_matches(self, rng):
+        model = calibrate(80_000.0, 0.6, 1.0)
+        gaps = model.sample_gaps(20_000, rng)
+        # The lognormal part is renormalized, so the match is tight.
+        assert gaps.mean() == pytest.approx(80_000.0, rel=0.05)
+
+    def test_bimodality(self, rng):
+        """Bursty traffic: many sub-ms gaps AND a heavy tail (Fig. 6)."""
+        model = calibrate(200_000.0, burst_frac=0.7, burst_mean_ms=0.5)
+        gaps = model.sample_gaps(20_000, rng)
+        sub_ms = (gaps < US_PER_MS).mean()
+        long_tail = (gaps > 16 * US_PER_MS).mean()
+        assert sub_ms > 0.4
+        assert long_tail > 0.1

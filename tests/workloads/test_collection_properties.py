@@ -1,0 +1,31 @@
+"""Property-based invariants of closed-loop collection."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import collect
+
+
+@given(
+    app=st.sampled_from(["Email", "Twitter", "Movie", "CallIn"]),
+    count=st.integers(min_value=2, max_value=120),
+    seed=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=12, deadline=None)
+def test_collection_invariants(app, count, seed):
+    """Collected traces are completed, ordered, and causally consistent."""
+    result = collect(app, seed=seed, num_requests=count)
+    trace = result.trace
+    assert len(trace) == count
+    previous_finish = 0.0
+    previous_arrival = 0.0
+    for request in trace:
+        assert request.completed
+        # Arrival order is preserved by construction.
+        assert request.arrival_us >= previous_arrival
+        # FIFO device: service starts no earlier than the previous finish
+        # would allow, and timestamps are internally ordered.
+        assert request.service_start_us >= previous_finish - 1e-6
+        assert request.finish_us > request.service_start_us
+        previous_finish = request.finish_us
+        previous_arrival = request.arrival_us

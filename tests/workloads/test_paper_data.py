@@ -1,0 +1,94 @@
+"""Consistency tests for the transcribed paper tables."""
+
+import pytest
+
+from repro.workloads import (
+    ALL_TRACES,
+    COMBO_APPS,
+    COMBO_COMPONENTS,
+    INDIVIDUAL_APPS,
+    TABLE_III,
+    TABLE_IV,
+    table_iii,
+    table_iv,
+)
+from repro.workloads.paper_data import effective_num_requests
+
+
+class TestCompleteness:
+    def test_counts(self):
+        assert len(INDIVIDUAL_APPS) == 18
+        assert len(COMBO_APPS) == 7
+        assert len(ALL_TRACES) == 25
+
+    def test_tables_cover_all_traces(self):
+        assert set(TABLE_III) == set(ALL_TRACES)
+        assert set(TABLE_IV) == set(ALL_TRACES)
+
+    def test_combo_components_are_individual_apps(self):
+        for combo, (first, second) in COMBO_COMPONENTS.items():
+            assert combo in COMBO_APPS
+            assert first in INDIVIDUAL_APPS
+            assert second in INDIVIDUAL_APPS
+
+
+class TestInternalConsistency:
+    @pytest.mark.parametrize("name", ALL_TRACES)
+    def test_rates_consistent_with_duration(self, name):
+        """Arrival rate x duration should roughly equal the effective count.
+
+        The raw combo rows are inconsistent in the paper (see
+        :func:`effective_num_requests`); the corrected counts restore
+        consistency for all 25 traces.
+        """
+        iv = table_iv(name)
+        implied_requests = iv.arrival_rate * iv.duration_s
+        assert implied_requests == pytest.approx(effective_num_requests(name), rel=0.15)
+
+    @pytest.mark.parametrize("name", ALL_TRACES)
+    def test_effective_counts_consistent_with_avg_size(self, name):
+        """data size / avg size must also match the effective count."""
+        iii = table_iii(name)
+        implied = iii.data_size_kib / iii.avg_size_kib
+        assert implied == pytest.approx(effective_num_requests(name), rel=0.20)
+
+    @pytest.mark.parametrize("name", ALL_TRACES)
+    def test_access_rate_consistent_with_data_size(self, name):
+        iii, iv = table_iii(name), table_iv(name)
+        implied_kib = iv.access_rate_kib_s * iv.duration_s
+        assert implied_kib == pytest.approx(iii.data_size_kib, rel=0.20)
+
+    @pytest.mark.parametrize("name", ALL_TRACES)
+    def test_response_not_below_service(self, name):
+        iv = table_iv(name)
+        assert iv.mean_response_ms >= iv.mean_service_ms
+
+    @pytest.mark.parametrize("name", ALL_TRACES)
+    def test_percentages_in_range(self, name):
+        iii, iv = table_iii(name), table_iv(name)
+        for value in (iii.write_req_pct, iii.write_size_pct, iv.nowait_pct,
+                      iv.spatial_locality_pct, iv.temporal_locality_pct):
+            assert 0.0 <= value <= 100.0
+
+    def test_headline_claims_hold_in_transcription(self):
+        """Characteristic 1's claim should hold on the transcribed data."""
+        write_dominant = [
+            name for name in INDIVIDUAL_APPS if TABLE_III[name].write_req_pct > 50
+        ]
+        assert len(write_dominant) == 15
+        above_90 = [name for name in INDIVIDUAL_APPS if TABLE_III[name].write_req_pct > 90]
+        assert len(above_90) == 6
+
+    def test_characteristic_6_in_transcription(self):
+        means = {
+            name: TABLE_IV[name].duration_s * 1000.0 / TABLE_III[name].num_requests
+            for name in INDIVIDUAL_APPS
+        }
+        above_200 = [name for name, mean in means.items() if mean >= 200.0]
+        assert len(above_200) == 13
+
+    def test_lookup_raises_for_unknown(self):
+        with pytest.raises(KeyError):
+            table_iii("NotAnApp")
+        with pytest.raises(KeyError):
+            table_iv("NotAnApp")

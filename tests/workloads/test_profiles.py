@@ -1,0 +1,62 @@
+"""Unit tests for the 25 application profiles."""
+
+import pytest
+
+from repro.trace import KIB, SECTOR
+from repro.workloads import ALL_TRACES, DEVICE_BYTES, INDIVIDUAL_APPS, TABLE_III, profile
+from repro.workloads.profiles import PROFILES, all_profiles, combo_profiles, individual_profiles
+
+
+class TestRegistry:
+    def test_all_25_profiles_exist(self):
+        assert set(PROFILES) == set(ALL_TRACES)
+
+    def test_accessors_preserve_paper_order(self):
+        assert [p.name for p in all_profiles()] == list(ALL_TRACES)
+        assert len(individual_profiles()) == 18
+        assert len(combo_profiles()) == 7
+
+    def test_unknown_profile_raises_with_names(self):
+        with pytest.raises(KeyError, match="Twitter"):
+            profile("Nope")
+
+
+class TestDerivedTargets:
+    @pytest.mark.parametrize("name", ALL_TRACES)
+    def test_size_models_hit_table_iii_means(self, name):
+        """The calibrated analytic means must match the paper's averages."""
+        app = profile(name)
+        paper = TABLE_III[name]
+        for is_write, target_kib in ((False, paper.avg_read_kib), (True, paper.avg_write_kib)):
+            model = app.size_model(op_is_write=is_write)
+            assert model.mean_pages * SECTOR / KIB == pytest.approx(
+                max(4.0, target_kib), rel=0.02
+            ), f"{name} {'write' if is_write else 'read'} mean off"
+
+    @pytest.mark.parametrize("name", ALL_TRACES)
+    def test_arrival_model_hits_mean_gap(self, name):
+        app = profile(name)
+        assert app.arrival_model().mean_us == pytest.approx(
+            app.mean_interarrival_us, rel=1e-6
+        )
+
+    @pytest.mark.parametrize("name", ALL_TRACES)
+    def test_footprint_inside_device(self, name):
+        model = profile(name).address_model()
+        assert model.footprint_start >= 0
+        assert model.footprint_start + model.footprint_bytes <= DEVICE_BYTES
+        assert model.footprint_start % SECTOR == 0
+
+    def test_4k_shares_in_characteristic_2_band(self):
+        exceptions = {"Movie", "Booting", "CameraVideo"}
+        for name in INDIVIDUAL_APPS:
+            if name in exceptions:
+                continue
+            assert 0.449 <= profile(name).frac_4k <= 0.574, name
+
+    def test_max_pages_matches_table(self):
+        assert profile("Messaging").max_pages == 128 * KIB // SECTOR
+        assert profile("Installing").max_pages == 22_144 * KIB // SECTOR
+
+    def test_write_frac(self):
+        assert profile("CallIn").write_frac == pytest.approx(0.9993)

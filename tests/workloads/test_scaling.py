@@ -1,0 +1,69 @@
+"""Unit tests for trace scaling utilities."""
+
+import pytest
+
+from repro.trace import KIB, MIB, Op, Request, Trace
+from repro.workloads.scaling import scale_rate, scale_sizes, truncate
+
+
+def _trace():
+    return Trace("t", [
+        Request(0.0, 0, 4 * KIB, Op.WRITE),
+        Request(1000.0, 8 * KIB, 12 * KIB, Op.READ),
+        Request(3000.0, 64 * KIB, 4 * KIB, Op.WRITE),
+    ], metadata={"k": "v"})
+
+
+class TestScaleRate:
+    def test_compresses_time(self):
+        scaled = scale_rate(_trace(), 2.0)
+        assert [r.arrival_us for r in scaled] == [0.0, 500.0, 1500.0]
+        assert scaled.arrival_rate() == pytest.approx(_trace().arrival_rate() * 2)
+
+    def test_stretches_time(self):
+        scaled = scale_rate(_trace(), 0.5)
+        assert scaled.duration_us == pytest.approx(6000.0)
+
+    def test_requests_untouched(self):
+        scaled = scale_rate(_trace(), 4.0)
+        assert [(r.lba, r.size, r.op) for r in scaled] == [
+            (r.lba, r.size, r.op) for r in _trace()
+        ]
+
+    def test_metadata_annotated(self):
+        scaled = scale_rate(_trace(), 2.0)
+        assert scaled.metadata["rate_factor"] == "2"
+        assert scaled.metadata["k"] == "v"
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scale_rate(_trace(), 0.0)
+
+
+class TestScaleSizes:
+    def test_doubles_pages(self):
+        scaled = scale_sizes(_trace(), 2.0)
+        assert [r.size for r in scaled] == [8 * KIB, 24 * KIB, 8 * KIB]
+
+    def test_never_below_one_page(self):
+        scaled = scale_sizes(_trace(), 0.01)
+        assert all(r.size == 4 * KIB for r in scaled)
+
+    def test_capped_and_aligned(self):
+        big = Trace("b", [Request(0.0, 0, 8 * MIB, Op.WRITE)])
+        scaled = scale_sizes(big, 10.0, max_bytes=16 * MIB)
+        assert scaled[0].size == 16 * MIB
+        assert scaled[0].size % (4 * KIB) == 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scale_sizes(_trace(), -1.0)
+
+
+class TestTruncate:
+    def test_keeps_prefix(self):
+        assert len(truncate(_trace(), 2)) == 2
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            truncate(_trace(), 0)

@@ -1,0 +1,32 @@
+"""Seed robustness: the calibration holds for seeds other than the default.
+
+The benchmarks already exercise a second seed; this slow test sweeps a few
+more on two representative applications and asserts the headline columns
+stay inside the calibration budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.locality import measure as measure_localities
+from repro.workloads import TABLE_III, TABLE_IV, generate_trace
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [1, 7, 12345])
+@pytest.mark.parametrize("app", ["Twitter", "Music"])
+def test_calibration_across_seeds(seed, app):
+    trace = generate_trace(app, seed=seed)
+    paper3, paper4 = TABLE_III[app], TABLE_IV[app]
+    write_pct = 100.0 * sum(r.is_write for r in trace) / len(trace)
+    assert write_pct == pytest.approx(paper3.write_req_pct, abs=3.0)
+    avg_kib = np.mean([r.size for r in trace]) / 1024.0
+    assert avg_kib == pytest.approx(paper3.avg_size_kib, rel=0.20)
+    assert trace.duration_s == pytest.approx(paper4.duration_s, rel=0.15)
+    localities = measure_localities(trace)
+    assert localities.spatial_pct == pytest.approx(
+        paper4.spatial_locality_pct, abs=4.0
+    )
+    assert localities.temporal_pct == pytest.approx(
+        paper4.temporal_locality_pct, abs=8.0
+    )

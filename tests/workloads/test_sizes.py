@@ -1,0 +1,95 @@
+"""Unit and property tests for the size-model calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.sizes import SizeModel, calibrate, from_histogram
+
+
+class TestFromHistogram:
+    def test_normalizes_fractions(self):
+        model = from_histogram([2, 2], max_pages=4)
+        assert model.fractions[0] == pytest.approx(0.5)
+
+    def test_truncates_to_max_pages(self):
+        model = from_histogram([0.5, 0.5, 0.0, 0.0, 0.0, 0.0], max_pages=2)
+        assert model.max_pages == 2
+        assert len(model.ranges) == 2
+
+    def test_rejects_empty_mass(self):
+        with pytest.raises(ValueError, match="no mass"):
+            from_histogram([0, 0], max_pages=4)
+
+    def test_solves_spread_for_mean(self):
+        model = from_histogram([0.5, 0.0, 0.0, 0.5], max_pages=16, mean_pages=4.0)
+        assert model.mean_pages == pytest.approx(4.0)
+
+    def test_clamps_unreachable_mean(self):
+        # All mass on single-value buckets: mean is fixed at 1.5.
+        model = from_histogram([0.5, 0.5], max_pages=2, mean_pages=10.0)
+        assert model.mean_pages == pytest.approx(1.5)
+
+
+class TestCalibrate:
+    @pytest.mark.parametrize(
+        "frac_4k,mean_pages,max_pages",
+        [(0.5, 3.0, 128), (0.45, 2.5, 32), (0.574, 2.7, 32), (0.1, 180.0, 2526), (0.3, 13.0, 5536)],
+    )
+    def test_mean_is_exact_when_achievable(self, frac_4k, mean_pages, max_pages):
+        model = calibrate(frac_4k, mean_pages, max_pages)
+        assert model.mean_pages == pytest.approx(mean_pages, rel=1e-3)
+        assert model.frac_4k == pytest.approx(frac_4k)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            calibrate(1.0, 2.0, 16)
+        with pytest.raises(ValueError):
+            calibrate(0.5, 0.5, 16)
+
+    def test_tiny_device_single_bucket(self):
+        model = calibrate(0.5, 1.0, 1)
+        assert model.max_pages == 2  # clamped to the minimum geometry
+
+
+class TestSampling:
+    def test_samples_within_ranges(self, rng):
+        model = calibrate(0.5, 4.0, 64)
+        samples = model.sample_many(2000, rng)
+        assert samples.min() >= 1
+        assert samples.max() <= 64
+
+    def test_sample_mean_matches_analytic(self, rng):
+        model = calibrate(0.5, 4.0, 64)
+        samples = model.sample_many(20000, rng)
+        assert samples.mean() == pytest.approx(model.mean_pages, rel=0.05)
+
+    def test_frac_4k_matches(self, rng):
+        model = calibrate(0.55, 3.0, 64)
+        samples = model.sample_many(20000, rng)
+        assert (samples == 1).mean() == pytest.approx(0.55, abs=0.02)
+
+    def test_deterministic_given_rng_seed(self):
+        model = calibrate(0.5, 4.0, 64)
+        a = model.sample_many(100, np.random.default_rng(7))
+        b = model.sample_many(100, np.random.default_rng(7))
+        assert (a == b).all()
+
+
+@given(
+    frac_4k=st.floats(min_value=0.0, max_value=0.9),
+    mean_pages=st.floats(min_value=1.0, max_value=500.0),
+    max_pages=st.integers(min_value=2, max_value=4096),
+)
+@settings(max_examples=60, deadline=None)
+def test_calibrate_never_crashes_and_mean_bounded(frac_4k, mean_pages, max_pages):
+    model = calibrate(frac_4k, mean_pages, max_pages)
+    assert 1.0 <= model.mean_pages <= max_pages
+    assert abs(sum(model.fractions) - 1.0) < 1e-9
+    # When the target is comfortably achievable (enough non-4K mass to carry
+    # it and far from the top-bucket ceiling), it is hit exactly.
+    low = model.frac_4k + (1 - model.frac_4k) * 2  # thinnest possible tail
+    high = (1 - frac_4k) * max_pages * 0.3  # conservative reachable ceiling
+    if low <= mean_pages <= high:
+        assert model.mean_pages == pytest.approx(mean_pages, rel=0.25)

@@ -1,0 +1,90 @@
+"""Edge cases across the workloads package."""
+
+import numpy as np
+import pytest
+
+from repro.trace import SECTOR
+from repro.workloads import (
+    TABLE_I,
+    TABLE_II,
+    collect,
+    generate_trace,
+    profile,
+)
+from repro.workloads.arrivals import ArrivalModel
+from repro.workloads.sizes import from_histogram
+
+
+class TestTableIAndII:
+    def test_table_i_covers_individual_apps(self):
+        from repro.workloads import INDIVIDUAL_APPS
+
+        assert set(TABLE_I) == set(INDIVIDUAL_APPS)
+        assert "AngryBirds" in TABLE_I["AngryBrid"]
+
+    def test_table_ii_covers_all_traces(self):
+        from repro.workloads import ALL_TRACES
+
+        assert set(TABLE_II) == set(ALL_TRACES)
+
+
+class TestGeneratorEdges:
+    def test_single_request_trace(self):
+        trace = generate_trace("Email", num_requests=1)
+        assert len(trace) == 1
+        assert trace[0].arrival_us == 0.0
+
+    def test_two_request_trace_has_one_gap(self):
+        trace = generate_trace("Email", num_requests=2)
+        assert len(trace.inter_arrival_us()) == 1
+
+    def test_all_requests_aligned(self):
+        trace = generate_trace("Booting", num_requests=300)
+        for request in trace:
+            assert request.lba % SECTOR == 0
+            assert request.size % SECTOR == 0
+
+    def test_calibration_cache_reused(self):
+        from repro.workloads.generator import _temporal_cache
+
+        generate_trace("Amazon", num_requests=100)
+        key = ("Amazon", 20150614)
+        assert key in _temporal_cache
+        before = _temporal_cache[key]
+        generate_trace("Amazon", num_requests=100)
+        assert _temporal_cache[key] == before
+
+    def test_disable_temporal_calibration(self):
+        trace = generate_trace("Amazon", num_requests=100, calibrate_temporal=False)
+        assert len(trace) == 100
+
+
+class TestCollectionEdges:
+    def test_single_request_collection(self):
+        result = collect("Email", num_requests=1)
+        assert len(result.trace) == 1
+        assert result.trace[0].no_wait
+
+    def test_custom_collection_device(self):
+        from repro.emmc import eight_ps
+
+        result = collect("Email", num_requests=50, config=eight_ps())
+        assert result.trace.metadata["collection_device"] == "8PS"
+
+
+class TestModelEdges:
+    def test_arrival_mean_property(self):
+        model = ArrivalModel(burst_frac=0.5, burst_mean_us=100.0, gap_mean_us=900.0)
+        assert model.mean_us == pytest.approx(500.0)
+
+    def test_size_histogram_partial_fractions_padded(self):
+        model = from_histogram([1.0], max_pages=64)
+        assert model.fractions[0] == 1.0
+        assert model.frac_4k == 1.0
+        assert model.sample(np.random.default_rng(0)) == 1
+
+    def test_profile_movie_uses_explicit_histograms(self):
+        movie = profile("Movie")
+        read_model = movie.size_model(op_is_write=False)
+        # The Fig. 4 hump: most read mass in the 16-64K bucket (index 3).
+        assert read_model.fractions[3] > 0.5
