@@ -21,6 +21,12 @@ Subcommands::
 
     repro-trace stats trace.csv
         Print the Table III / Table IV style statistics of a trace file.
+
+    repro-trace experiments [IDS ...] [--quick] [--jobs N] [--no-cache]
+                            [--cache-dir DIR] ...
+        Run the paper's experiments (same engine and flags as the
+        ``repro-experiments`` entry point, including the parallel sharded
+        runner and the on-disk result cache).
 """
 
 from __future__ import annotations
@@ -123,6 +129,16 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_experiments_argv(rest: List[str]) -> int:
+    from repro.experiments.runner import main as experiments_main
+
+    return experiments_main(rest)
+
+
+def _cmd_experiments(args) -> int:
+    return _cmd_experiments_argv(list(args.rest))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the repro-trace argument parser."""
     parser = argparse.ArgumentParser(prog="repro-trace", description=__doc__)
@@ -156,11 +172,24 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="print statistics of a trace CSV")
     stats.add_argument("trace")
     stats.set_defaults(fn=_cmd_stats)
+
+    experiments = sub.add_parser(
+        "experiments",
+        help="run the paper's experiments (parallel engine + result cache)",
+        add_help=False,  # everything is forwarded to repro-experiments
+    )
+    experiments.add_argument("rest", nargs=argparse.REMAINDER)
+    experiments.set_defaults(fn=_cmd_experiments)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "experiments":
+        # Forward verbatim (argparse's REMAINDER mis-handles a leading
+        # option such as ``experiments --list``).
+        return _cmd_experiments_argv(argv[1:])
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

@@ -3,15 +3,24 @@
 from .common import (
     ExperimentResult,
     all_traces,
+    cached_collection,
+    cached_trace,
+    clear_experiment_caches,
     individual_traces,
     replay_on,
     replayed_all,
     replayed_individual,
 )
+from .spec import ExperimentSpec, ShardPlan
 
 __all__ = [
     "ExperimentResult",
+    "ExperimentSpec",
+    "ShardPlan",
     "all_traces",
+    "cached_collection",
+    "cached_trace",
+    "clear_experiment_caches",
     "individual_traces",
     "replay_on",
     "replayed_all",

@@ -15,6 +15,7 @@ from repro.analysis import render_table, size_stats, timing_stats
 from repro.workloads import ALL_TRACES, DEFAULT_SEED, TABLE_III, TABLE_IV
 
 from .common import ExperimentResult, all_traces, replayed_all
+from .spec import ExperimentSpec
 
 #: Accuracy budget per column: (kind, tolerance).  "abs" tolerances are in
 #: the column's own unit (percentage points, ms, ...); "rel" are ratios.
@@ -112,6 +113,14 @@ def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> Experim
         table=table,
         data={"deltas": deltas, "out_of_budget": out_of_budget, "known": known},
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="calibration",
+    title="Per-cell calibration deltas vs the published tables",
+    runner=run,
+    cost="light",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

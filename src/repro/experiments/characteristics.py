@@ -8,6 +8,7 @@ from repro.analysis import check_all, render_table
 from repro.workloads import DEFAULT_SEED
 
 from .common import ExperimentResult, individual_traces, replayed_individual
+from .spec import ExperimentSpec
 
 
 def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> ExperimentResult:
@@ -35,6 +36,14 @@ def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> Experim
         table=table,
         data={"results": results},
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="characteristics",
+    title="The six Section-III characteristics, checked end to end",
+    runner=run,
+    cost="light",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

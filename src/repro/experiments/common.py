@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-import functools
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, TypeVar
 
 from repro.trace import Trace
 from repro.workloads import (
@@ -15,6 +16,8 @@ from repro.workloads import (
 )
 from repro.workloads.collection import CollectionResult, collect
 from repro.emmc import DeviceConfig, EmmcDevice, ReplayResult, four_ps
+
+T = TypeVar("T")
 
 
 @dataclass
@@ -31,41 +34,131 @@ class ExperimentResult:
         return f"== {self.experiment_id}: {self.title} ==\n{self.table}"
 
 
-@functools.lru_cache(maxsize=16)
-def _cached_traces(
-    names: Tuple[str, ...], seed: int, num_requests: Optional[int]
-) -> Tuple[Trace, ...]:
-    return tuple(
-        generate_trace(name, seed=seed, num_requests=num_requests) for name in names
+class ProcessLocalLRU:
+    """A bounded memo that never leaks across process boundaries.
+
+    The previous implementation used :func:`functools.lru_cache`, which is
+    plain process-global state: after an ``os.fork()`` (what
+    ``ProcessPoolExecutor`` does on Linux) every worker inherited the
+    parent's cached traces, so a long-lived pool both held an unbounded
+    copy of every (seed, size) trace set per worker and could serve a
+    worker traces generated before the fork -- incoherent with what a
+    freshly-seeded worker would compute.  This cache:
+
+    * records the owning ``os.getpid()`` and empties itself the first time
+      it is touched from a different process (covers ``fork`` *and* any
+      exotic inheritance path);
+    * additionally registers an ``os.register_at_fork`` hook (via
+      :func:`clear_experiment_caches`) so children start empty even before
+      first access;
+    * evicts least-recently-used entries beyond ``maxsize`` so sweeping
+      many seeds/sizes cannot grow memory without bound;
+    * counts hits/misses/fork-invalidations for telemetry and tests.
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._pid = os.getpid()
+        self.hits = 0
+        self.misses = 0
+        self.fork_invalidations = 0
+
+    def _ensure_process_local(self) -> None:
+        pid = os.getpid()
+        if pid != self._pid:
+            self._data.clear()
+            self._pid = pid
+            self.fork_invalidations += 1
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], T]) -> T:
+        """Return the cached value for ``key``, computing it on a miss."""
+        self._ensure_process_local()
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]  # type: ignore[return-value]
+        self.misses += 1
+        value = compute()
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._pid = os.getpid()
+
+    def __len__(self) -> int:
+        self._ensure_process_local()
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        self._ensure_process_local()
+        return key in self._data
+
+
+#: Process-local trace memo (25 apps x a few (seed, size) combinations).
+_TRACE_CACHE = ProcessLocalLRU(maxsize=128)
+#: Process-local closed-loop collection memo.
+_COLLECTION_CACHE = ProcessLocalLRU(maxsize=64)
+
+
+def clear_experiment_caches() -> None:
+    """Empty every shared experiment memo (used by the fork hook/tests)."""
+    _TRACE_CACHE.clear()
+    _COLLECTION_CACHE.clear()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(after_in_child=clear_experiment_caches)
+
+
+def cached_trace(
+    name: str, seed: int = DEFAULT_SEED, num_requests: Optional[int] = None
+) -> Trace:
+    """One synthesized trace, memoized per (name, seed, size) in-process.
+
+    Trace synthesis is keyed only by these three values (the generator
+    derives its RNG streams from a hash of name+seed), so the memo is safe
+    to consult from any experiment -- and, because the cache is
+    process-local, from any pool worker.
+    """
+    return _TRACE_CACHE.get_or_compute(
+        (name, seed, num_requests),
+        lambda: generate_trace(name, seed=seed, num_requests=num_requests),
+    )
+
+
+def cached_collection(
+    name: str, seed: int = DEFAULT_SEED, num_requests: Optional[int] = None
+) -> CollectionResult:
+    """One closed-loop collection, memoized like :func:`cached_trace`."""
+    return _COLLECTION_CACHE.get_or_compute(
+        (name, seed, num_requests),
+        lambda: collect(name, seed=seed, num_requests=num_requests),
     )
 
 
 def individual_traces(
     seed: int = DEFAULT_SEED, num_requests: Optional[int] = None
 ) -> List[Trace]:
-    """The 18 individual traces (cached per seed/size)."""
-    return list(_cached_traces(tuple(INDIVIDUAL_APPS), seed, num_requests))
+    """The 18 individual traces (memoized per seed/size)."""
+    return [cached_trace(name, seed, num_requests) for name in INDIVIDUAL_APPS]
 
 
 def all_traces(
     seed: int = DEFAULT_SEED, num_requests: Optional[int] = None
 ) -> List[Trace]:
-    """All 25 traces (cached per seed/size)."""
-    return list(_cached_traces(tuple(ALL_TRACES), seed, num_requests))
+    """All 25 traces (memoized per seed/size)."""
+    return [cached_trace(name, seed, num_requests) for name in ALL_TRACES]
 
 
 def replay_on(config: DeviceConfig, trace: Trace) -> ReplayResult:
     """Replay ``trace`` on a brand-new device built from ``config``."""
     return EmmcDevice(config).replay(trace.without_timing())
-
-
-@functools.lru_cache(maxsize=4)
-def _cached_collections(
-    names: Tuple[str, ...], seed: int, num_requests: Optional[int]
-) -> Tuple[CollectionResult, ...]:
-    return tuple(
-        collect(name, seed=seed, num_requests=num_requests) for name in names
-    )
 
 
 def replayed_individual(
@@ -78,11 +171,11 @@ def replayed_individual(
     monitor would log on the phone, which is what Table IV, Fig. 5 and the
     characteristics are computed from.
     """
-    return list(_cached_collections(tuple(INDIVIDUAL_APPS), seed, num_requests))
+    return [cached_collection(name, seed, num_requests) for name in INDIVIDUAL_APPS]
 
 
 def replayed_all(
     seed: int = DEFAULT_SEED, num_requests: Optional[int] = None
 ) -> List[CollectionResult]:
     """All 25 traces collected closed-loop on the reference device."""
-    return list(_cached_collections(tuple(ALL_TRACES), seed, num_requests))
+    return [cached_collection(name, seed, num_requests) for name in ALL_TRACES]

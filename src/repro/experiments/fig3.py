@@ -12,18 +12,25 @@ Two constructions:
 The paper's measured endpoints: reads climb from 13.94 MB/s (4 KB) to
 99.65 MB/s (256 KB); writes from 5.18 MB/s (4 KB) to 56.15 MB/s (16 MB),
 with writes always far below reads at the same size.
+
+The experiment shards into the device sweep plus one closed-loop
+collection per app.  ``merge`` reassembles the collected traces in app
+order and runs the same aggregation as the serial path, so parallel
+output is bit-identical (the per-size float accumulation happens once, in
+a single deterministic order, never per-shard).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
-from repro.trace import KIB, Op
+from repro.trace import KIB, MIB, Op
 from repro.analysis import render_table, throughput_curves, trace_throughput_by_size
 from repro.emmc import four_ps
-from repro.workloads import DEFAULT_SEED
+from repro.workloads import DEFAULT_SEED, INDIVIDUAL_APPS
 
-from .common import ExperimentResult, replayed_individual
+from .common import ExperimentResult, cached_collection
+from .spec import ExperimentSpec, ShardPlan
 
 #: Paper-reported endpoints for the comparison rows.
 PAPER_POINTS = {
@@ -34,10 +41,34 @@ PAPER_POINTS = {
     ("write", 16 * 1024 * 1024): 56.15,
 }
 
+#: Shard key for the fixed-size device sweep (all other shards are apps).
+SWEEP_UNIT = "device-sweep"
 
-def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> ExperimentResult:
-    """Both Fig. 3 constructions on the reference device."""
-    curves = throughput_curves(four_ps())
+
+def _sweep_bytes(num_requests: Optional[int]) -> int:
+    """Bytes pushed per sweep point; trimmed in quick/shortened mode."""
+    return 32 * MIB if num_requests is None else 4 * MIB
+
+
+def compute_shard(
+    unit: str, seed: int = DEFAULT_SEED, num_requests: Optional[int] = None
+):
+    """One independent unit of Fig. 3 work (sweep, or one app collection)."""
+    if unit == SWEEP_UNIT:
+        return throughput_curves(
+            four_ps(), total_bytes_per_point=_sweep_bytes(num_requests)
+        )
+    return cached_collection(unit, seed=seed, num_requests=num_requests).trace
+
+
+def merge(
+    payloads: Dict[str, object],
+    seed: int = DEFAULT_SEED,
+    num_requests: Optional[int] = None,
+) -> ExperimentResult:
+    """Assemble both Fig. 3 tables from the shard payloads."""
+    del seed, num_requests  # assembly is a pure function of the payloads
+    curves = payloads[SWEEP_UNIT]
     rows = []
     for label, points in curves.items():
         for point in points:
@@ -55,8 +86,8 @@ def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> Experim
         ["Op", "Request size", "MB/s", "Paper MB/s"], rows,
         title="(a) device sweep",
     )
-    # The paper's construction, over the collected traces.
-    traces = [r.trace for r in replayed_individual(seed=seed, num_requests=num_requests)]
+    # The paper's construction, over the collected traces (app order).
+    traces = [payloads[app] for app in INDIVIDUAL_APPS if app in payloads]
     trace_rows = []
     by_size = {}
     for op in (Op.READ, Op.WRITE):
@@ -75,6 +106,29 @@ def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> Experim
         table=sweep_table + "\n\n" + trace_table,
         data={"curves": curves, "trace_rates": by_size},
     )
+
+
+def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> ExperimentResult:
+    """Both Fig. 3 constructions on the reference device."""
+    units = (SWEEP_UNIT,) + tuple(INDIVIDUAL_APPS)
+    payloads = {
+        unit: compute_shard(unit, seed=seed, num_requests=num_requests)
+        for unit in units
+    }
+    return merge(payloads, seed=seed, num_requests=num_requests)
+
+
+SPEC = ExperimentSpec(
+    experiment_id="fig3",
+    title="Throughput vs request size (device sweep + trace construction)",
+    runner=run,
+    cost="heavy",
+    shards=ShardPlan(
+        units=(SWEEP_UNIT,) + tuple(INDIVIDUAL_APPS),
+        worker=compute_shard,
+        merge=merge,
+    ),
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,6 +8,7 @@ from repro.analysis import render_histogram_table, size_distribution
 from repro.workloads import DEFAULT_SEED
 
 from .common import ExperimentResult, individual_traces
+from .spec import ExperimentSpec
 
 
 def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> ExperimentResult:
@@ -23,6 +24,14 @@ def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> Experim
         table=table,
         data={"histograms": dict(zip((t.name for t in traces), histograms))},
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="fig4",
+    title="Request size distributions of the 18 applications",
+    runner=run,
+    cost="light",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,6 +13,7 @@ from repro.analysis import render_histogram_table, response_distribution
 from repro.workloads import DEFAULT_SEED
 
 from .common import ExperimentResult, replayed_individual
+from .spec import ExperimentSpec
 
 
 def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> ExperimentResult:
@@ -27,6 +28,14 @@ def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> Experim
         table=table,
         data={"histograms": dict(zip(names, histograms))},
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="fig5",
+    title="Response time distributions of the 18 applications",
+    runner=run,
+    cost="light",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

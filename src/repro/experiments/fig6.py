@@ -14,6 +14,7 @@ from repro.analysis import interarrival_distribution, render_histogram_table
 from repro.workloads import DEFAULT_SEED
 
 from .common import ExperimentResult, individual_traces
+from .spec import ExperimentSpec
 
 
 def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> ExperimentResult:
@@ -27,6 +28,14 @@ def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> Experim
         table=table,
         data={"histograms": dict(zip((t.name for t in traces), histograms))},
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="fig6",
+    title="Inter-arrival time distributions of the 18 applications",
+    runner=run,
+    cost="light",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,6 +21,7 @@ from repro.workloads import COMBO_APPS, COMBO_COMPONENTS, DEFAULT_SEED, TABLE_IV
 from repro.workloads.combos import rate_inflation
 
 from .common import ExperimentResult, replayed_all
+from .spec import ExperimentSpec
 
 
 def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> ExperimentResult:
@@ -67,6 +68,14 @@ def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> Experim
             "gaps": dict(zip(names, gaps)),
         },
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="fig7",
+    title="I/O patterns of the 7 combo traces",
+    runner=run,
+    cost="light",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -4,6 +4,12 @@ Paper headlines: HPS beats 4PS on every trace -- by up to 86 % (Booting),
 no less than 24 % (Movie), 61.9 % on average -- and 8PS performs very
 similarly to HPS.  The RAM buffer is disabled, each trace replays on a
 brand-new device (Section V-B).
+
+The per-trace replays are fully independent, so this module is split into
+:func:`replay_app` (one trace on all three schemes -- the parallel shard)
+and :func:`merge` (deterministic reassembly); :func:`run` simply composes
+the two, which is what keeps the ``--jobs N`` output bit-identical to the
+serial path.
 """
 
 from __future__ import annotations
@@ -15,38 +21,46 @@ from repro.workloads import DEFAULT_SEED, FIG8_HPS_VS_4PS, INDIVIDUAL_APPS
 
 from repro.emmc import eight_ps, four_ps, hps
 
-from .common import ExperimentResult, individual_traces, replay_on
+from .common import ExperimentResult, cached_trace, replay_on
+from .spec import ExperimentSpec, ShardPlan
 
 SCHEMES = ("4PS", "8PS", "HPS")
 
 
-def run(
+def _configs():
+    return {"4PS": four_ps(), "8PS": eight_ps(), "HPS": hps()}
+
+
+def replay_app(
+    app: str, seed: int = DEFAULT_SEED, num_requests: Optional[int] = None
+) -> Dict[str, float]:
+    """MRT of one trace on all three schemes (one independent shard)."""
+    trace = cached_trace(app, seed=seed, num_requests=num_requests)
+    return {
+        scheme: replay_on(config, trace).stats.mean_response_ms
+        for scheme, config in _configs().items()
+    }
+
+
+def merge(
+    per_app: Dict[str, Dict[str, float]],
     seed: int = DEFAULT_SEED,
     num_requests: Optional[int] = None,
-    apps: Optional[List[str]] = None,
 ) -> ExperimentResult:
-    """Replay every trace on all three schemes and compare MRT."""
-    selected = list(apps) if apps is not None else list(INDIVIDUAL_APPS)
-    configs = {"4PS": four_ps(), "8PS": eight_ps(), "HPS": hps()}
-    traces = [
-        trace
-        for trace in individual_traces(seed=seed, num_requests=num_requests)
-        if trace.name in selected
-    ]
+    """Assemble the Fig. 8 report from per-app shard payloads."""
+    del seed, num_requests  # assembly is a pure function of the payloads
+    ordered = [app for app in INDIVIDUAL_APPS if app in per_app]
     mrt: Dict[str, Dict[str, float]] = {}
     rows = []
     improvements = []
-    for trace in traces:
-        per_scheme = {
-            scheme: replay_on(config, trace).stats.mean_response_ms
-            for scheme, config in configs.items()
-        }
-        mrt[trace.name] = per_scheme
+    for app in ordered:
+        per_scheme = per_app[app]
+        mrt[app] = per_scheme
         improvement = 1.0 - per_scheme["HPS"] / per_scheme["4PS"]
         improvements.append(improvement)
         rows.append(
             [
-                trace.name,
+                app,
                 per_scheme["4PS"],
                 per_scheme["8PS"],
                 per_scheme["HPS"],
@@ -68,8 +82,35 @@ def run(
         experiment_id="fig8",
         title="Mean response time of the three schemes",
         table=table + "\n" + footer,
-        data={"mrt": mrt, "improvements": dict(zip((t.name for t in traces), improvements))},
+        data={"mrt": mrt, "improvements": dict(zip(ordered, improvements))},
     )
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    num_requests: Optional[int] = None,
+    apps: Optional[List[str]] = None,
+) -> ExperimentResult:
+    """Replay every trace on all three schemes and compare MRT."""
+    selected = [
+        app
+        for app in INDIVIDUAL_APPS
+        if apps is None or app in apps
+    ]
+    per_app = {
+        app: replay_app(app, seed=seed, num_requests=num_requests)
+        for app in selected
+    }
+    return merge(per_app, seed=seed, num_requests=num_requests)
+
+
+SPEC = ExperimentSpec(
+    experiment_id="fig8",
+    title="Mean response time of 4PS/8PS/HPS on the 18 traces",
+    runner=run,
+    cost="heavy",
+    shards=ShardPlan(units=tuple(INDIVIDUAL_APPS), worker=replay_app, merge=merge),
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

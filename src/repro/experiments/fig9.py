@@ -3,6 +3,10 @@
 Paper headlines: HPS always achieves the same space utilization as 4PS
 (no padding is ever written); against 8PS its best gain is 24.2 % (Music)
 and the average gain is 13.1 %.
+
+Like :mod:`repro.experiments.fig8`, the per-trace replays are independent:
+:func:`replay_app` is the parallel shard and :func:`merge` the
+deterministic reassembly, so sharded output is bit-identical to serial.
 """
 
 from __future__ import annotations
@@ -14,36 +18,44 @@ from repro.workloads import DEFAULT_SEED, FIG9_HPS_VS_8PS, INDIVIDUAL_APPS
 
 from repro.emmc import eight_ps, four_ps, hps
 
-from .common import ExperimentResult, individual_traces, replay_on
+from .common import ExperimentResult, cached_trace, replay_on
+from .spec import ExperimentSpec, ShardPlan
 
 
-def run(
+def _configs():
+    return {"4PS": four_ps(), "8PS": eight_ps(), "HPS": hps()}
+
+
+def replay_app(
+    app: str, seed: int = DEFAULT_SEED, num_requests: Optional[int] = None
+) -> Dict[str, float]:
+    """Space utilization of one trace on all three schemes (one shard)."""
+    trace = cached_trace(app, seed=seed, num_requests=num_requests)
+    return {
+        scheme: replay_on(config, trace).stats.space_utilization
+        for scheme, config in _configs().items()
+    }
+
+
+def merge(
+    per_app: Dict[str, Dict[str, float]],
     seed: int = DEFAULT_SEED,
     num_requests: Optional[int] = None,
-    apps: Optional[List[str]] = None,
 ) -> ExperimentResult:
-    """Measure space utilization per scheme; normalize to 4PS."""
-    selected = list(apps) if apps is not None else list(INDIVIDUAL_APPS)
-    configs = {"4PS": four_ps(), "8PS": eight_ps(), "HPS": hps()}
-    traces = [
-        trace
-        for trace in individual_traces(seed=seed, num_requests=num_requests)
-        if trace.name in selected
-    ]
+    """Assemble the Fig. 9 report from per-app shard payloads."""
+    del seed, num_requests  # assembly is a pure function of the payloads
+    ordered = [app for app in INDIVIDUAL_APPS if app in per_app]
     utilization: Dict[str, Dict[str, float]] = {}
     rows = []
     gains = []
-    for trace in traces:
-        per_scheme = {
-            scheme: replay_on(config, trace).stats.space_utilization
-            for scheme, config in configs.items()
-        }
-        utilization[trace.name] = per_scheme
+    for app in ordered:
+        per_scheme = per_app[app]
+        utilization[app] = per_scheme
         gain = per_scheme["HPS"] / per_scheme["8PS"] - 1.0 if per_scheme["8PS"] else 0.0
         gains.append(gain)
         rows.append(
             [
-                trace.name,
+                app,
                 per_scheme["8PS"] / per_scheme["4PS"],
                 per_scheme["HPS"] / per_scheme["4PS"],
                 f"{gain * 100:.1f}%",
@@ -62,8 +74,35 @@ def run(
         experiment_id="fig9",
         title="Space utilization normalized to 4PS",
         table=table + "\n" + footer,
-        data={"utilization": utilization, "gains": dict(zip((t.name for t in traces), gains))},
+        data={"utilization": utilization, "gains": dict(zip(ordered, gains))},
     )
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    num_requests: Optional[int] = None,
+    apps: Optional[List[str]] = None,
+) -> ExperimentResult:
+    """Measure space utilization per scheme; normalize to 4PS."""
+    selected = [
+        app
+        for app in INDIVIDUAL_APPS
+        if apps is None or app in apps
+    ]
+    per_app = {
+        app: replay_app(app, seed=seed, num_requests=num_requests)
+        for app in selected
+    }
+    return merge(per_app, seed=seed, num_requests=num_requests)
+
+
+SPEC = ExperimentSpec(
+    experiment_id="fig9",
+    title="Space utilization of 8PS and HPS normalized to 4PS",
+    runner=run,
+    cost="heavy",
+    shards=ShardPlan(units=tuple(INDIVIDUAL_APPS), worker=replay_app, merge=merge),
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,7 @@ from repro.workloads import DEFAULT_SEED, generate_trace
 from repro.emmc import EmmcDevice, four_ps
 
 from .common import ExperimentResult
+from .spec import ExperimentSpec
 
 CONFIGS = (
     ("page", None),
@@ -79,6 +80,14 @@ def run(
         table=table,
         data=data,
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="ftl_study",
+    title="Page-mapped vs hybrid log-block FTL study",
+    runner=run,
+    cost="light",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,6 +23,7 @@ from repro.emmc import EmmcDevice, Geometry, PageKind, collect_wear, four_ps
 from repro.workloads import DEFAULT_SEED, INDIVIDUAL_APPS, generate_trace
 
 from .common import ExperimentResult, individual_traces
+from .spec import ExperimentSpec
 
 
 def _implication_1(trace) -> dict:
@@ -141,6 +142,14 @@ def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> Experim
         data={"impl1": impl1, "impl2": impl2, "impl3": impl3,
               "impl4": impl4, "impl5": impl5},
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="implications",
+    title="The five Section-IV design implications, each ablated",
+    runner=run,
+    cost="medium",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

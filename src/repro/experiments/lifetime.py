@@ -32,6 +32,7 @@ from repro.workloads import DEFAULT_SEED, generate_trace
 from repro.emmc import EmmcDevice, PageKind, collect_wear, eight_ps, four_ps, hps
 
 from .common import ExperimentResult
+from .spec import ExperimentSpec
 
 #: Scaled-down per-plane block pools: same 2:1 structure, 32 MB devices.
 _SMALL_POOLS = {
@@ -109,6 +110,14 @@ def run(
         table=table,
         data=data,
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="lifetime",
+    title="GC pressure, write amplification and lifetime extension study",
+    runner=run,
+    cost="light",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,309 @@
+"""Parallel, cached execution of the experiment registry.
+
+The engine shards work at two granularities:
+
+* **whole experiments** -- every selected experiment with no
+  :class:`~repro.experiments.spec.ShardPlan` is one task;
+* **per-trace shards** -- heavy replay studies (fig3/fig8/fig9) split into
+  one task per independent unit (device sweep, or one app's replays), so
+  a single heavy experiment no longer serializes the tail of the run.
+
+Determinism
+-----------
+Parallel output is bit-identical to serial because nothing about the
+computation depends on scheduling:
+
+* every RNG stream is derived from ``hash(name, seed)`` inside the
+  generators, never from global state (the pool still reseeds
+  ``random``/``numpy`` per worker as defense in depth);
+* shard payloads are merged by the spec's ``merge`` in one deterministic
+  order in the parent, so float accumulation order never varies;
+* results are emitted in selection (paper) order, not completion order.
+
+Workers receive only ``(experiment_id, unit, seed, num_requests)`` and
+re-resolve the spec from :mod:`repro.experiments.registry` after import,
+so nothing non-picklable crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import registry
+from .cache import CacheStats, NullCache, ResultCache
+from .common import ExperimentResult
+from .spec import COST_CLASSES, ExperimentSpec
+
+
+@dataclass
+class ExperimentTelemetry:
+    """Wall-time and cache accounting for one experiment."""
+
+    experiment_id: str
+    compute_s: float  # summed worker-side compute time (serial-equivalent)
+    wall_s: float  # submit-to-merge span as seen by the scheduler
+    cache: str  # "hit" | "miss" | "off"
+    shards: int  # parallel shard count (0 = ran as one task)
+    cost: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "experiment_id": self.experiment_id,
+            "compute_s": round(self.compute_s, 6),
+            "wall_s": round(self.wall_s, 6),
+            "cache": self.cache,
+            "shards": self.shards,
+            "cost": self.cost,
+        }
+
+
+@dataclass
+class RunSummary:
+    """Everything one engine invocation produced."""
+
+    results: List[ExperimentResult]
+    telemetry: List[ExperimentTelemetry]
+    wall_s: float
+    jobs: int
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def compute_s(self) -> float:
+        """Serial-equivalent compute seconds actually spent this run."""
+        return sum(item.compute_s for item in self.telemetry)
+
+    @property
+    def speedup(self) -> float:
+        """Serial-equivalent seconds per wall second (1.0 = no benefit)."""
+        return self.compute_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "wall_s": round(self.wall_s, 6),
+            "compute_s": round(self.compute_s, 6),
+            "speedup": round(self.speedup, 3),
+            "experiments": [item.as_dict() for item in self.telemetry],
+            "cache": self.cache_stats.as_dict(),
+        }
+
+
+def _worker_init(seed: int) -> None:
+    """Deterministically seed the global RNGs in a fresh worker.
+
+    Experiments derive their randomness from explicit per-name streams, so
+    this is defense in depth: any stray use of the global generators
+    behaves identically no matter which worker runs which task.
+    """
+    random.seed(seed)
+    np.random.seed(seed % 2**32)
+
+
+def _run_whole(
+    experiment_id: str, seed: int, num_requests: Optional[int]
+) -> Tuple[ExperimentResult, float]:
+    spec = registry.get_spec(experiment_id)
+    started = time.perf_counter()
+    result = spec.call(seed, num_requests)
+    return result, time.perf_counter() - started
+
+
+def _run_shard(
+    experiment_id: str, unit: str, seed: int, num_requests: Optional[int]
+) -> Tuple[str, object, float]:
+    spec = registry.get_spec(experiment_id)
+    assert spec.shards is not None
+    started = time.perf_counter()
+    payload = spec.shards.worker(unit, seed, num_requests)
+    return unit, payload, time.perf_counter() - started
+
+
+def _pool_context():
+    """Prefer fork (fast, and our caches are fork-safe); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _cost_rank(spec: ExperimentSpec) -> int:
+    return COST_CLASSES.index(spec.cost)
+
+
+def _topological_waves(specs: Sequence[ExperimentSpec]) -> List[List[ExperimentSpec]]:
+    """Dependency waves; deps outside the selection count as satisfied."""
+    selected = {spec.experiment_id for spec in specs}
+    done: set = set()
+    remaining = list(specs)
+    waves: List[List[ExperimentSpec]] = []
+    while remaining:
+        ready = [
+            spec
+            for spec in remaining
+            if all(dep in done or dep not in selected for dep in spec.deps)
+        ]
+        if not ready:
+            cycle = [spec.experiment_id for spec in remaining]
+            raise ValueError(f"dependency cycle among experiments: {cycle}")
+        # Heavy experiments first so the pool drains evenly.
+        ready.sort(key=_cost_rank)
+        waves.append(ready)
+        done.update(spec.experiment_id for spec in ready)
+        remaining = [spec for spec in remaining if spec.experiment_id not in done]
+    return waves
+
+
+def _execute_wave_serial(
+    wave: Sequence[ExperimentSpec],
+    seed: int,
+    num_requests: Optional[int],
+) -> Dict[str, Tuple[ExperimentResult, float, int]]:
+    computed: Dict[str, Tuple[ExperimentResult, float, int]] = {}
+    for spec in wave:
+        result, duration = _run_whole(spec.experiment_id, seed, num_requests)
+        computed[spec.experiment_id] = (result, duration, 0)
+    return computed
+
+
+def _execute_wave_parallel(
+    pool: ProcessPoolExecutor,
+    wave: Sequence[ExperimentSpec],
+    seed: int,
+    num_requests: Optional[int],
+) -> Dict[str, Tuple[ExperimentResult, float, int]]:
+    whole_futures = {}
+    shard_futures = {}
+    shard_counts: Dict[str, int] = {}
+    for spec in wave:
+        if spec.shards is not None and len(spec.shards.units) > 1:
+            shard_counts[spec.experiment_id] = len(spec.shards.units)
+            for unit in spec.shards.units:
+                future = pool.submit(
+                    _run_shard, spec.experiment_id, unit, seed, num_requests
+                )
+                shard_futures[future] = spec.experiment_id
+        else:
+            whole_futures[pool.submit(
+                _run_whole, spec.experiment_id, seed, num_requests
+            )] = spec.experiment_id
+
+    payloads: Dict[str, Dict[str, object]] = {
+        experiment_id: {} for experiment_id in shard_counts
+    }
+    compute: Dict[str, float] = {spec.experiment_id: 0.0 for spec in wave}
+    computed: Dict[str, Tuple[ExperimentResult, float, int]] = {}
+    pending = set(whole_futures) | set(shard_futures)
+    while pending:
+        finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+        for future in finished:
+            if future in whole_futures:
+                experiment_id = whole_futures[future]
+                result, duration = future.result()
+                computed[experiment_id] = (result, duration, 0)
+            else:
+                experiment_id = shard_futures[future]
+                unit, payload, duration = future.result()
+                payloads[experiment_id][unit] = payload
+                compute[experiment_id] += duration
+                if len(payloads[experiment_id]) == shard_counts[experiment_id]:
+                    # All shards in: merge deterministically in the parent.
+                    spec = registry.get_spec(experiment_id)
+                    merge_started = time.perf_counter()
+                    result = spec.shards.merge(
+                        payloads[experiment_id], seed, num_requests
+                    )
+                    merge_s = time.perf_counter() - merge_started
+                    computed[experiment_id] = (
+                        result,
+                        compute[experiment_id] + merge_s,
+                        shard_counts[experiment_id],
+                    )
+    return computed
+
+
+def execute(
+    ids: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    num_requests: Optional[int] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> RunSummary:
+    """Run ``ids`` (default: everything) and return results + telemetry.
+
+    ``jobs=1`` runs in-process with no pool; ``jobs>1`` shards across a
+    ``ProcessPoolExecutor``.  Either way the results are bit-identical and
+    ordered by selection (paper) order.  ``cache=None`` disables caching.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    specs = registry.select(ids or ())
+    cache = cache if cache is not None else NullCache()
+    run_started = time.perf_counter()
+
+    telemetry_by_id: Dict[str, ExperimentTelemetry] = {}
+    results_by_id: Dict[str, ExperimentResult] = {}
+
+    # Cache probe (parent process, cheap).
+    to_compute: List[ExperimentSpec] = []
+    for spec in specs:
+        cached = cache.load(spec, seed, num_requests)
+        if cached is not None:
+            results_by_id[spec.experiment_id] = cached
+            telemetry_by_id[spec.experiment_id] = ExperimentTelemetry(
+                experiment_id=spec.experiment_id,
+                compute_s=0.0,
+                wall_s=0.0,
+                cache="hit",
+                shards=0,
+                cost=spec.cost,
+            )
+        else:
+            to_compute.append(spec)
+
+    if to_compute:
+        waves = _topological_waves(to_compute)
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            if jobs > 1:
+                pool = ProcessPoolExecutor(
+                    max_workers=jobs,
+                    mp_context=_pool_context(),
+                    initializer=_worker_init,
+                    initargs=(seed,),
+                )
+            for wave in waves:
+                wave_started = time.perf_counter()
+                if pool is None:
+                    computed = _execute_wave_serial(wave, seed, num_requests)
+                else:
+                    computed = _execute_wave_parallel(pool, wave, seed, num_requests)
+                wave_wall = time.perf_counter() - wave_started
+                for spec in wave:
+                    result, compute_s, shards = computed[spec.experiment_id]
+                    results_by_id[spec.experiment_id] = result
+                    telemetry_by_id[spec.experiment_id] = ExperimentTelemetry(
+                        experiment_id=spec.experiment_id,
+                        compute_s=compute_s,
+                        wall_s=compute_s if pool is None else wave_wall,
+                        cache="miss" if cache.enabled else "off",
+                        shards=shards,
+                        cost=spec.cost,
+                    )
+                    cache.store(spec, seed, num_requests, result)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+
+    ordered_ids = [spec.experiment_id for spec in specs]
+    return RunSummary(
+        results=[results_by_id[eid] for eid in ordered_ids],
+        telemetry=[telemetry_by_id[eid] for eid in ordered_ids],
+        wall_s=time.perf_counter() - run_started,
+        jobs=jobs,
+        cache_stats=cache.stats,
+    )

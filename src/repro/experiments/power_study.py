@@ -20,6 +20,7 @@ from repro.emmc import EmmcDevice, four_ps
 from repro.emmc.energy import EnergyParams, energy_report
 
 from .common import ExperimentResult
+from .spec import ExperimentSpec
 
 #: Threshold sweep, microseconds (10 ms .. 10 s plus "never sleeps").
 DEFAULT_THRESHOLDS_US = (10_000.0, 100_000.0, 1_000_000.0, 10_000_000.0, float("inf"))
@@ -71,6 +72,14 @@ def run(
         table=table,
         data=data,
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="power_study",
+    title="Power-saving threshold trade-off sweep",
+    runner=run,
+    cost="light",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -5,7 +5,17 @@ Command line::
     repro-experiments                 # run everything, print reports
     repro-experiments fig8 fig9      # a subset
     repro-experiments --quick        # shortened traces (smoke run)
+    repro-experiments --jobs 4       # shard across 4 worker processes
+    repro-experiments --no-cache     # force recomputation
+    repro-experiments --cache-dir D  # result cache location
     repro-experiments --output EXPERIMENTS.md
+    repro-experiments --list         # show the registry and exit
+
+Results are cached on disk (``$REPRO_CACHE_DIR``, else
+``~/.cache/repro``) keyed by experiment id, parameters, code fingerprint
+and package version; a warm rerun replays from cache without recomputing
+anything.  Parallel runs are bit-identical to serial ones (see
+:mod:`repro.experiments.parallel`).
 """
 
 from __future__ import annotations
@@ -19,51 +29,15 @@ from typing import Callable, Dict, List, Optional
 
 from repro.workloads import DEFAULT_SEED
 
-from . import (
-    calibration,
-    characteristics,
-    fig3,
-    fig4,
-    fig5,
-    fig6,
-    fig7,
-    fig8,
-    fig9,
-    ftl_study,
-    implications,
-    lifetime,
-    overhead,
-    power_study,
-    sdcard_study,
-    sensitivity,
-    slc_study,
-    table3,
-    table4,
-)
+from . import parallel
+from .cache import NullCache, ResultCache
 from .common import ExperimentResult
+from .registry import REGISTRY, select
+from .spec import ExperimentSpec
 
-#: Experiment registry in the order they appear in the paper.
+#: Backwards-compatible view of the registry: id -> ``f(seed, n)``.
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
-    "fig3": lambda seed, n: fig3.run(seed=seed, num_requests=n),
-    "table3": lambda seed, n: table3.run(seed=seed, num_requests=n),
-    "fig4": lambda seed, n: fig4.run(seed=seed, num_requests=n),
-    "table4": lambda seed, n: table4.run(seed=seed, num_requests=n),
-    "fig5": lambda seed, n: fig5.run(seed=seed, num_requests=n),
-    "fig6": lambda seed, n: fig6.run(seed=seed, num_requests=n),
-    "fig7": lambda seed, n: fig7.run(seed=seed, num_requests=n),
-    "characteristics": lambda seed, n: characteristics.run(seed=seed, num_requests=n),
-    "implications": lambda seed, n: implications.run(seed=seed, num_requests=n),
-    "overhead": lambda seed, n: overhead.run(duration_s=120.0 if n else 600.0),
-    "fig8": lambda seed, n: fig8.run(seed=seed, num_requests=n),
-    "fig9": lambda seed, n: fig9.run(seed=seed, num_requests=n),
-    # Extension studies beyond the paper's evaluation section.
-    "slc_study": lambda seed, n: slc_study.run(seed=seed, num_requests=n),
-    "lifetime": lambda seed, n: lifetime.run(seed=seed, num_requests=n),
-    "sensitivity": lambda seed, n: sensitivity.run(seed=seed, num_requests=n),
-    "power_study": lambda seed, n: power_study.run(seed=seed, num_requests=n),
-    "sdcard_study": lambda seed, n: sdcard_study.run(seed=seed, num_requests=n),
-    "ftl_study": lambda seed, n: ftl_study.run(seed=seed, num_requests=n),
-    "calibration": lambda seed, n: calibration.run(seed=seed, num_requests=n),
+    experiment_id: spec.call for experiment_id, spec in REGISTRY.items()
 }
 
 
@@ -71,13 +45,18 @@ def run_experiments(
     ids: Optional[List[str]] = None,
     seed: int = DEFAULT_SEED,
     num_requests: Optional[int] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[ExperimentResult]:
-    """Run the selected experiments (all, in paper order, by default)."""
-    selected = list(ids) if ids else list(EXPERIMENTS)
-    unknown = [identifier for identifier in selected if identifier not in EXPERIMENTS]
-    if unknown:
-        raise KeyError(f"unknown experiments: {unknown}; known: {list(EXPERIMENTS)}")
-    return [EXPERIMENTS[identifier](seed, num_requests) for identifier in selected]
+    """Run the selected experiments (all, in paper order, by default).
+
+    ``jobs``/``cache`` expose the parallel engine; the defaults preserve
+    the historical serial, uncached behaviour.
+    """
+    summary = parallel.execute(
+        ids=ids, seed=seed, num_requests=num_requests, jobs=jobs, cache=cache
+    )
+    return summary.results
 
 
 def _jsonable(value):
@@ -93,34 +72,102 @@ def _jsonable(value):
     return str(value)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+def _print_registry() -> None:
+    width = max(len(identifier) for identifier in REGISTRY)
+    for identifier, spec in REGISTRY.items():
+        shards = f", {len(spec.shards.units)} shards" if spec.shards else ""
+        print(f"{identifier:<{width}}  [{spec.cost}{shards}]  {spec.title}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro-experiments argument parser."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument(
         "--quick", action="store_true", help="shorten traces to 1500 requests"
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial in-process; output is identical)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
     parser.add_argument("--output", help="also write the reports to this file")
     parser.add_argument(
         "--json", help="write every experiment's structured data to this JSON file"
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--list", action="store_true", help="list the registered experiments and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list:
+        _print_registry()
+        return 0
     num_requests = 1500 if args.quick else None
+    try:
+        specs: List[ExperimentSpec] = select(args.ids or ())
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    cache = NullCache() if args.no_cache else ResultCache(cache_dir=args.cache_dir)
+
+    started = time.time()
+    summary = parallel.execute(
+        ids=[spec.experiment_id for spec in specs],
+        seed=args.seed,
+        num_requests=num_requests,
+        jobs=args.jobs,
+        cache=cache,
+    )
     reports: List[str] = []
     structured: Dict[str, object] = {}
-    for identifier in args.ids or list(EXPERIMENTS):
-        started = time.time()
-        result = EXPERIMENTS[identifier](args.seed, num_requests)
+    for result, telemetry in zip(summary.results, summary.telemetry):
         rendered = result.render()
         print(rendered)
-        print(f"[{identifier} finished in {time.time() - started:.1f}s]\n")
+        suffix = ""
+        if telemetry.cache == "hit":
+            suffix = ", cache hit"
+        elif telemetry.shards:
+            suffix = f", {telemetry.shards} shards"
+        print(
+            f"[{result.experiment_id} finished in {telemetry.compute_s:.1f}s"
+            f"{suffix}]\n"
+        )
         reports.append(rendered)
-        structured[identifier] = _jsonable(result.data)
+        structured[result.experiment_id] = _jsonable(result.data)
+    total_wall = time.time() - started
+    print(
+        f"[total: {total_wall:.1f}s wall, {summary.compute_s:.1f}s compute, "
+        f"jobs={summary.jobs}, speedup {summary.speedup:.2f}x]"
+    )
+    if cache.enabled:
+        print(f"[{cache.stats.summary()}]")
     if args.output:
         with open(args.output, "w") as handle:
             handle.write("\n\n".join(reports) + "\n")
     if args.json:
+        structured["_meta"] = {
+            "run": summary.as_dict(),
+            "seed": args.seed,
+            "num_requests": num_requests,
+        }
         with open(args.json, "w") as handle:
             json.dump(structured, handle, indent=2)
     return 0

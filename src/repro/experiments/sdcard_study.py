@@ -23,6 +23,7 @@ from repro.emmc import EmmcDevice, Geometry, LatencyParams, PageKind, PageTiming
 from repro.emmc.device import DeviceConfig
 
 from .common import ExperimentResult
+from .spec import ExperimentSpec
 
 
 def sdcard_config() -> DeviceConfig:
@@ -103,6 +104,14 @@ def run(
         table=table,
         data={"mrt_by_fraction": data},
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="sdcard_study",
+    title="External SD card offloading study",
+    runner=run,
+    cost="light",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

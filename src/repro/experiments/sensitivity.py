@@ -18,6 +18,7 @@ from repro.workloads.scaling import scale_rate
 from repro.emmc import EmmcDevice, eight_ps, four_ps, hps
 
 from .common import ExperimentResult
+from .spec import ExperimentSpec
 
 DEFAULT_FACTORS = (1.0, 2.0, 4.0, 8.0, 16.0)
 
@@ -53,6 +54,14 @@ def run(
         table=table,
         data={"factors": list(factors), "curves": curves, "app": app},
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="sensitivity",
+    title="Load sensitivity of the three page-size schemes",
+    runner=run,
+    cost="light",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

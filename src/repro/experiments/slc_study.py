@@ -15,6 +15,7 @@ from repro.workloads import DEFAULT_SEED
 from repro.emmc import EmmcDevice, four_ps, hps, hps_slc
 
 from .common import ExperimentResult, individual_traces
+from .spec import ExperimentSpec
 
 DEFAULT_APPS = ("Twitter", "Messaging", "Facebook", "Booting", "Installing", "Movie")
 
@@ -66,6 +67,14 @@ def run(
         table=table + "\n" + footer,
         data={"mrt": mrt_data, "capacities_gib": capacities},
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="slc_study",
+    title="HPS with SLC-mode small-page blocks",
+    runner=run,
+    cost="medium",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

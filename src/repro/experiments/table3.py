@@ -8,6 +8,7 @@ from repro.analysis import render_table, size_stats
 from repro.workloads import DEFAULT_SEED, TABLE_III
 
 from .common import ExperimentResult, all_traces
+from .spec import ExperimentSpec
 
 
 def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> ExperimentResult:
@@ -51,6 +52,14 @@ def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> Experim
         table=table,
         data={"measured": measured},
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="table3",
+    title="Table III size-related characteristics of the 25 traces",
+    runner=run,
+    cost="medium",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,6 +14,7 @@ from repro.analysis import render_table, timing_stats
 from repro.workloads import DEFAULT_SEED, TABLE_IV
 
 from .common import ExperimentResult, replayed_all
+from .spec import ExperimentSpec
 
 
 def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> ExperimentResult:
@@ -57,6 +58,14 @@ def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> Experim
         table=table,
         data={"measured": measured},
     )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="table4",
+    title="Table IV timing-related statistics of the 25 traces",
+    runner=run,
+    cost="heavy",
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

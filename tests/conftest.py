@@ -8,6 +8,31 @@ import pytest
 from repro.trace import Op, Request, Trace
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/experiments/golden/*.json from the current outputs",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """True when the run should refresh the golden snapshots."""
+    return request.config.getoption("--update-golden")
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_result_cache(tmp_path, monkeypatch):
+    """Point the experiment result cache at a per-test directory.
+
+    Keeps the suite from reading (or polluting) the operator's real
+    ``~/.cache/repro`` when tests exercise the runner CLI.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-result-cache"))
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(42)

@@ -1,5 +1,7 @@
 """Tests for the experiment harness's shared caching layer."""
 
+import os
+
 from repro.experiments import common
 
 
@@ -36,3 +38,89 @@ class TestCaching:
         second = common.replay_on(four_ps(), trace)
         # Brand-new device each time: identical stats.
         assert first.stats.mean_response_ms == second.stats.mean_response_ms
+
+
+class TestProcessLocalLRU:
+    def test_hit_and_miss_accounting(self):
+        cache = common.ProcessLocalLRU(maxsize=4)
+        assert cache.get_or_compute("a", lambda: 1) == 1
+        assert cache.get_or_compute("a", lambda: 2) == 1  # cached
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_bounded_lru_eviction(self):
+        cache = common.ProcessLocalLRU(maxsize=2)
+        for key in ("a", "b", "c"):
+            cache.get_or_compute(key, lambda k=key: k.upper())
+        assert len(cache) == 2
+        assert "a" not in cache  # least recently used went first
+        assert "b" in cache and "c" in cache
+
+    def test_lru_order_refreshed_on_hit(self):
+        cache = common.ProcessLocalLRU(maxsize=2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: 0)  # refresh "a"
+        cache.get_or_compute("c", lambda: 3)  # evicts "b", not "a"
+        assert "a" in cache and "b" not in cache
+
+    def test_rejects_nonpositive_maxsize(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            common.ProcessLocalLRU(maxsize=0)
+
+
+class TestForkSafety:
+    """Workers must never observe another process's trace cache."""
+
+    def test_cache_emptied_when_pid_changes(self):
+        cache = common.ProcessLocalLRU(maxsize=8)
+        cache.get_or_compute("stale", lambda: "parent-value")
+        assert "stale" in cache
+        # Simulate "this object was inherited across a fork": the recorded
+        # owner pid no longer matches os.getpid().
+        cache._pid = os.getpid() + 1
+        assert "stale" not in cache  # first touch from the "child" clears
+        assert cache.fork_invalidations == 1
+        assert cache.get_or_compute("stale", lambda: "child-value") == "child-value"
+
+    def test_trace_cache_not_reused_across_processes(self):
+        before = common.individual_traces(seed=11, num_requests=30)[0]
+        assert common.individual_traces(seed=11, num_requests=30)[0] is before
+        common._TRACE_CACHE._pid = os.getpid() + 1  # fake inherited-from-fork
+        after = common.individual_traces(seed=11, num_requests=30)[0]
+        assert after is not before  # recomputed, not served stale
+        # Determinism: the recomputed trace is identical in content.
+        assert [r.lba for r in after] == [r.lba for r in before]
+
+    def test_fork_hook_clears_both_caches(self):
+        common.cached_trace("Twitter", seed=12, num_requests=25)
+        common.cached_collection("Twitter", seed=12, num_requests=25)
+        assert len(common._TRACE_CACHE) > 0
+        assert len(common._COLLECTION_CACHE) > 0
+        # clear_experiment_caches is what os.register_at_fork runs in the
+        # child; invoking it directly must leave both memos empty.
+        common.clear_experiment_caches()
+        assert len(common._TRACE_CACHE) == 0
+        assert len(common._COLLECTION_CACHE) == 0
+
+    def test_real_fork_child_starts_empty(self):
+        if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX
+            import pytest
+
+            pytest.skip("os.fork not available")
+        common.cached_trace("Twitter", seed=13, num_requests=25)
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - child process
+            os.close(read_fd)
+            payload = b"empty" if len(common._TRACE_CACHE) == 0 else b"stale"
+            os.write(write_fd, payload)
+            os.close(write_fd)
+            os._exit(0)
+        os.close(write_fd)
+        try:
+            assert os.read(read_fd, 16) == b"empty"
+        finally:
+            os.close(read_fd)
+            os.waitpid(pid, 0)

@@ -1,0 +1,113 @@
+"""Golden-snapshot regression tests for the headline paper experiments.
+
+Each golden file freezes an experiment's structured data at a small,
+fixed (seed, num_requests) so perf-oriented PRs cannot silently drift the
+paper numbers.  Comparison is tolerance-aware (tiny float noise from e.g.
+a numpy upgrade is fine; a real numeric change is not).
+
+Refresh intentionally with::
+
+    PYTHONPATH=src python -m pytest tests/experiments/test_golden.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import fig3, fig8, runner, table3
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+#: Frozen run parameters -- changing these requires regenerating goldens.
+GOLDEN_SEED = 20150614
+GOLDEN_REQUESTS = 120
+
+#: Relative/absolute tolerance for float comparisons.
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+GOLDEN_EXPERIMENTS = {
+    "fig3": fig3.run,
+    "table3": table3.run,
+    "fig8": fig8.run,
+}
+
+
+def assert_close(expected, actual, path="$", rel=REL_TOL, abs_tol=ABS_TOL):
+    """Deep compare with float tolerance; pinpoints the diverging path."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: {type(actual).__name__} != dict"
+        assert sorted(expected) == sorted(actual), (
+            f"{path}: keys {sorted(actual)} != golden {sorted(expected)}"
+        )
+        for key in expected:
+            assert_close(expected[key], actual[key], f"{path}.{key}", rel, abs_tol)
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), f"{path}: {type(actual).__name__} != list"
+        assert len(expected) == len(actual), (
+            f"{path}: length {len(actual)} != golden {len(expected)}"
+        )
+        for index, (a, b) in enumerate(zip(expected, actual)):
+            assert_close(a, b, f"{path}[{index}]", rel, abs_tol)
+    elif isinstance(expected, float) or isinstance(actual, float):
+        assert actual == pytest.approx(expected, rel=rel, abs=abs_tol), (
+            f"{path}: {actual!r} != golden {expected!r}"
+        )
+    else:
+        assert expected == actual, f"{path}: {actual!r} != golden {expected!r}"
+
+
+def _golden_path(experiment_id: str) -> Path:
+    return GOLDEN_DIR / f"{experiment_id}.json"
+
+
+def _current_snapshot(experiment_id: str):
+    result = GOLDEN_EXPERIMENTS[experiment_id](
+        seed=GOLDEN_SEED, num_requests=GOLDEN_REQUESTS
+    )
+    return {
+        "experiment_id": result.experiment_id,
+        "seed": GOLDEN_SEED,
+        "num_requests": GOLDEN_REQUESTS,
+        "data": runner._jsonable(result.data),
+    }
+
+
+@pytest.mark.parametrize("experiment_id", sorted(GOLDEN_EXPERIMENTS))
+def test_golden_snapshot(experiment_id, update_golden):
+    snapshot = _current_snapshot(experiment_id)
+    path = _golden_path(experiment_id)
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"golden refreshed: {path}")
+    assert path.exists(), (
+        f"missing golden {path}; generate it with --update-golden"
+    )
+    golden = json.loads(path.read_text())
+    assert golden["seed"] == GOLDEN_SEED
+    assert golden["num_requests"] == GOLDEN_REQUESTS
+    assert_close(golden["data"], snapshot["data"])
+
+
+class TestComparator:
+    def test_accepts_tiny_float_noise(self):
+        assert_close({"x": [1.0, 2.0]}, {"x": [1.0 + 1e-12, 2.0]})
+
+    def test_rejects_real_drift(self):
+        with pytest.raises(AssertionError, match=r"\$\.x\[0\]"):
+            assert_close({"x": [1.0]}, {"x": [1.001]})
+
+    def test_rejects_missing_key(self):
+        with pytest.raises(AssertionError, match="keys"):
+            assert_close({"a": 1}, {"b": 1})
+
+    def test_rejects_length_change(self):
+        with pytest.raises(AssertionError, match="length"):
+            assert_close([1, 2], [1])
+
+    def test_exact_for_non_floats(self):
+        with pytest.raises(AssertionError):
+            assert_close({"n": "4 KiB"}, {"n": "8 KiB"})

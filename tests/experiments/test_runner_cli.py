@@ -36,3 +36,36 @@ class TestMain:
         assert converted["4"]["b"] is None
         assert isinstance(converted["4"]["c"], str)
         json.dumps(converted)  # fully serializable
+
+
+class TestNewFlags:
+    def test_list_shows_registry(self, capsys):
+        assert runner.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "calibration" in out
+        assert "18 shards" in out  # fig8/fig9 shard plans surfaced
+
+    def test_unknown_id_exits_2_with_message(self, capsys):
+        assert runner.main(["nope"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_jobs_flag_produces_same_report_file(self, tmp_path):
+        serial = tmp_path / "serial.txt"
+        par = tmp_path / "par.txt"
+        base = ["fig4", "fig6", "--quick", "--seed", "9", "--no-cache"]
+        assert runner.main(base + ["--jobs", "1", "--output", str(serial)]) == 0
+        assert runner.main(base + ["--jobs", "2", "--output", str(par)]) == 0
+        assert serial.read_bytes() == par.read_bytes()
+
+    def test_json_meta_telemetry(self, tmp_path):
+        json_path = tmp_path / "data.json"
+        code = runner.main(
+            ["fig4", "--quick", "--seed", "3", "--cache-dir",
+             str(tmp_path / "cache"), "--json", str(json_path)]
+        )
+        assert code == 0
+        meta = json.loads(json_path.read_text())["_meta"]
+        assert meta["run"]["jobs"] == 1
+        assert meta["run"]["cache"]["misses"] == 1
+        assert meta["run"]["experiments"][0]["experiment_id"] == "fig4"
+        assert meta["num_requests"] == 1500

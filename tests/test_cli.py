@@ -68,3 +68,20 @@ class TestStats:
         out = capsys.readouterr().out
         assert "No-wait" in out
         assert "Arrival rate" in out
+
+
+class TestExperimentsPassthrough:
+    def test_forwards_to_experiment_runner(self, tmp_path, capsys):
+        output = tmp_path / "report.txt"
+        code = main(
+            ["experiments", "fig4", "--quick", "--seed", "3", "--jobs", "1",
+             "--no-cache", "--output", str(output)]
+        )
+        assert code == 0
+        assert "fig4" in capsys.readouterr().out
+        assert "Request size distributions" in output.read_text()
+
+    def test_forwards_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "shards" in out
