@@ -12,6 +12,7 @@ enabled, collections run during long inter-arrival gaps instead
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
@@ -127,7 +128,9 @@ class EmmcDevice:
         self._unit_avail = [0.0] * units
         self._controller_avail = 0.0
         self._last_finish = 0.0
-        # Finish times of requests currently outstanding (queue_depth > 1).
+        # Min-heap of finish times of requests currently outstanding
+        # (queue_depth > 1): admission pops the earliest finish in O(log n)
+        # instead of re-sorting the whole list per request.
         self._outstanding: List[float] = []
 
     @property
@@ -195,7 +198,7 @@ class EmmcDevice:
         self._account(request, dispatch, finish, ops)
         self._last_finish = max(self._last_finish, finish)
         if self.config.queue_depth > 1:
-            self._outstanding.append(finish)
+            heapq.heappush(self._outstanding, finish)
         self.power.record_activity_end(finish)
         self.stats.wakeups = self.power.wakeups
         return request.with_timing(service_start_us=dispatch, finish_us=finish)
@@ -205,11 +208,11 @@ class EmmcDevice:
         if self.config.queue_depth == 1:
             return max(arrival, self._last_finish)
         # Drop completed entries, then wait for a slot if all are busy.
-        self._outstanding = [f for f in self._outstanding if f > arrival]
+        while self._outstanding and self._outstanding[0] <= arrival:
+            heapq.heappop(self._outstanding)
         if len(self._outstanding) < self.config.queue_depth:
             return arrival
-        self._outstanding.sort()
-        slot_free = self._outstanding.pop(0)
+        slot_free = heapq.heappop(self._outstanding)
         return max(arrival, slot_free)
 
     def _account_idle(self, dispatch: float) -> None:
