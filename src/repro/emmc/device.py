@@ -1,21 +1,50 @@
-"""The simulated eMMC device: timing engine and trace replay.
+"""The simulated eMMC device: an event-driven timing engine on ``repro.sim``.
 
 The device serves one host request at a time (eMMC's single command queue;
-the paper's high NoWait ratios show real workloads rarely need more), but
-executes each request's flash operations with full internal parallelism:
-channels transfer concurrently, and every plane can read/program
-independently while its channel is free.  Garbage collection triggered by a
-write extends that write's service time (foreground GC); with ``idle_gc``
-enabled, collections run during long inter-arrival gaps instead
-(Implication 2).
+the paper's high NoWait ratios show real workloads rarely need higher
+depths), but executes each request's flash operations with full internal
+parallelism: channels transfer concurrently, and every plane can
+read/program independently while its channel is free.  Garbage collection
+triggered by a write extends that write's service time (foreground GC);
+with ``idle_gc`` enabled, collections run during long inter-arrival gaps
+instead (Implication 2).
+
+Structure (one :class:`repro.sim.EventLoop` per device):
+
+* Host requests enter as ``ARRIVAL`` events (:meth:`EmmcDevice.arrive`);
+  the synchronous :meth:`submit` is a thin closed-loop wrapper that runs
+  the kernel up to the arrival instant.
+* Admission (who may dispatch when) lives in
+  :class:`repro.sim.AdmissionQueue`, parameterized by ``queue_depth``.
+* The timing engine reserves windows on serially-reusable
+  :class:`repro.sim.ResourceTimeline` objects -- one controller, one per
+  channel, one per die (or per plane with ``multi_plane``).
+* Idle-time GC and the power-down transition are ``IDLE_GC`` /
+  ``POWER_DOWN`` timer events armed after every request and canceled by
+  the next arrival, instead of gap checks bolted onto the next dispatch.
+
+Because service is FIFO with no preemption, each request's full schedule
+is fixed at dispatch; the device therefore computes finish times eagerly
+at the arrival event and posts a ``COMPLETE`` event for observers.  That
+eager evaluation is provably order-identical to stepping one event per
+resource grant, and keeps ``queue_depth=1`` replay bit-identical to the
+old inline arithmetic.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import Callable, List, Optional
 
+from repro.sim import (
+    AdmissionQueue,
+    Event,
+    EventKind,
+    EventLoop,
+    Host,
+    ResourcePool,
+    ResourceTimeline,
+)
 from repro.trace import Request, SECTOR, Trace
 
 from .cache import RamBuffer
@@ -87,7 +116,7 @@ class ReplayResult:
 class EmmcDevice:
     """Event-driven eMMC model (a light-weight SSD, per the paper)."""
 
-    def __init__(self, config: DeviceConfig) -> None:
+    def __init__(self, config: DeviceConfig, kernel: Optional[EventLoop] = None) -> None:
         self.config = config
         self.geometry = config.geometry
         self.latency = config.latency
@@ -121,17 +150,27 @@ class EmmcDevice:
             RamBuffer(config.ram_buffer_bytes) if config.ram_buffer_bytes else None
         )
         self.stats = DeviceStats()
-        self._channel_avail = [0.0] * self.geometry.channels
+
+        # -- the event kernel and its schedulable state --------------------
+        #: The discrete-event loop this device lives on.  Sharing one
+        #: kernel between a device and its producers (the Android stack,
+        #: concurrent app mixes) is what serializes out-of-order arrivals.
+        self.kernel = kernel if kernel is not None else EventLoop()
+        #: Host-interface admission: ``queue_depth`` slots.
+        self.queue = AdmissionQueue(config.queue_depth)
+        #: The FTL/controller is a single serialized resource.
+        self.controller = ResourceTimeline("controller")
+        #: One timeline per channel bus.
+        self.channels = ResourcePool(self.geometry.channels, "channel")
+        #: One timeline per busy unit: dies, or planes with multi_plane.
         units = (
             self.geometry.num_planes if config.multi_plane else self.geometry.num_dies
         )
-        self._unit_avail = [0.0] * units
-        self._controller_avail = 0.0
-        self._last_finish = 0.0
-        # Min-heap of finish times of requests currently outstanding
-        # (queue_depth > 1): admission pops the earliest finish in O(log n)
-        # instead of re-sorting the whole list per request.
-        self._outstanding: List[float] = []
+        self.units = ResourcePool(units, "plane" if config.multi_plane else "die")
+        #: Pending speculative timers (canceled by the next dispatch).
+        self._idle_gc_timer: Optional[Event] = None
+        self._power_down_timer: Optional[Event] = None
+        self._arm_activity_timers()
 
     @property
     def capacity_bytes(self) -> int:
@@ -167,53 +206,77 @@ class EmmcDevice:
             )
         return "\n".join(lines)
 
-    # -- replay -----------------------------------------------------------------
+    # -- the host interface -------------------------------------------------------
+
+    def arrive(
+        self,
+        request: Request,
+        on_complete: Optional[Callable[[Request], None]] = None,
+        record_to: Optional[List[Request]] = None,
+    ) -> Event:
+        """Schedule ``request`` as an ``ARRIVAL`` event on the kernel.
+
+        The request is served when the loop reaches its arrival time;
+        ``record_to`` (if given) receives the timed request at that
+        instant (submission order), while ``on_complete`` fires at the
+        request's ``COMPLETE`` event (completion order).
+        """
+
+        def _on_arrival(event: Event) -> None:
+            completed = self._serve(event.payload)
+            if record_to is not None:
+                record_to.append(completed)
+            self.kernel.schedule(
+                completed.finish_us,
+                (None if on_complete is None
+                 else (lambda _ev, _req=completed: on_complete(_req))),
+                kind=EventKind.COMPLETE,
+                payload=completed,
+            )
+
+        return self.kernel.schedule(
+            request.arrival_us, _on_arrival, kind=EventKind.ARRIVAL, payload=request
+        )
+
+    def submit(self, request: Request) -> Request:
+        """Serve one request; returns it with device timestamps attached.
+
+        Closed-loop convenience: schedules the arrival and runs the kernel
+        up to (and including) the arrival instant, so any due completions
+        and idle/power timers fire first.  Requests must be submitted in
+        non-decreasing arrival order (the clock cannot move backwards).
+        """
+        box: List[Request] = []
+        self.arrive(request, record_to=box)
+        self.kernel.run_until(request.arrival_us)
+        return box[0]
 
     def replay(self, trace: Trace) -> ReplayResult:
         """Serve every request of ``trace`` in arrival order.
 
         Returns the same trace with service-start and finish timestamps
         filled in, plus the device statistics -- the paper's replay
-        methodology for Figs. 8 and 9.
+        methodology for Figs. 8 and 9.  Delegates to
+        :class:`repro.sim.Host`, the open-loop front door.
         """
-        completed = [self.submit(request) for request in trace]
-        return ReplayResult(
-            trace=trace.with_requests(completed),
-            stats=self.stats,
-            config_name=self.config.name,
-        )
+        return Host(self).replay(trace)
 
-    def submit(self, request: Request) -> Request:
-        """Serve one request; returns it with device timestamps attached.
+    # -- serving one request (runs at its ARRIVAL event) ---------------------------
 
-        Requests must be submitted in non-decreasing arrival order.
-        """
+    def _serve(self, request: Request) -> Request:
         arrival = request.arrival_us
-        dispatch = self._admit(arrival)
-        self._maybe_idle_gc(dispatch)
+        dispatch = self.queue.admit(arrival)
+        self._cancel_activity_timers()
         self._account_idle(dispatch)
-        start = dispatch + self.power.wakeup_penalty(dispatch)
+        start = dispatch + self.power.wake(dispatch)
         ops, absorbed = self._expand(request)
         finish = self._schedule(ops, start) if ops else start + self._absorbed_latency(absorbed)
         self._account(request, dispatch, finish, ops)
-        self._last_finish = max(self._last_finish, finish)
-        if self.config.queue_depth > 1:
-            heapq.heappush(self._outstanding, finish)
+        self.queue.on_dispatch(finish)
         self.power.record_activity_end(finish)
         self.stats.wakeups = self.power.wakeups
+        self._arm_activity_timers()
         return request.with_timing(service_start_us=dispatch, finish_us=finish)
-
-    def _admit(self, arrival: float) -> float:
-        """When the request may be dispatched, honouring the queue depth."""
-        if self.config.queue_depth == 1:
-            return max(arrival, self._last_finish)
-        # Drop completed entries, then wait for a slot if all are busy.
-        while self._outstanding and self._outstanding[0] <= arrival:
-            heapq.heappop(self._outstanding)
-        if len(self._outstanding) < self.config.queue_depth:
-            return arrival
-        slot_free = heapq.heappop(self._outstanding)
-        return max(arrival, slot_free)
 
     def _account_idle(self, dispatch: float) -> None:
         """Split the idle gap before this dispatch into power states."""
@@ -293,7 +356,13 @@ class EmmcDevice:
     # -- timing engine --------------------------------------------------------------
 
     def _schedule(self, ops: List[FlashOp], start: float) -> float:
-        """Execute ops against the channel/plane timelines; returns makespan end."""
+        """Reserve ops on the controller/channel/unit timelines; returns makespan end.
+
+        Each op claims ``[start, end)`` windows in arrival order with no
+        preemption -- ``ResourceTimeline.reserve`` is the very ``max()``
+        arithmetic this method used to inline, so the numbers (and their
+        floating-point rounding) are unchanged.
+        """
         finish = start
         for op in ops:
             channel = self.geometry.channel_of(op.plane)
@@ -302,60 +371,82 @@ class EmmcDevice:
             # Controller processing (mapping lookup, command issue) is a
             # single serialized resource -- the structural reason per-op
             # counts matter as much as bytes on eMMC-class hardware.
-            issue = max(self._controller_avail, start) + self.latency.ftl_overhead_us
-            self._controller_avail = issue
+            _, issue = self.controller.reserve(start, self.latency.ftl_overhead_us)
             copyback = self.config.gc_copyback and op.gc
             if op.op_type is FlashOpType.READ:
-                die_start = max(self._unit_avail[die], issue)
-                die_end = die_start + timing.read_us
+                _, die_end = self.units.reserve(die, issue, timing.read_us)
                 if copyback:
                     # Data stays in the plane's page register.
-                    self._unit_avail[die] = die_end
                     op_finish = die_end
                 else:
-                    transfer_start = max(self._channel_avail[channel], die_end)
-                    transfer_end = transfer_start + self.latency.transfer_us(op.payload_bytes)
-                    self._unit_avail[die] = die_end
-                    self._channel_avail[channel] = transfer_end
+                    transfer_start, transfer_end = self.channels.reserve(
+                        channel, die_end, self.latency.transfer_us(op.payload_bytes)
+                    )
                     op_finish = transfer_end
                     self.stats.busy_transfer_us += transfer_end - transfer_start
                 self.stats.busy_read_us += timing.read_us
                 self.stats.record_op_counts(op.kind, reads=1)
             elif op.op_type is FlashOpType.PROGRAM:
                 if copyback:
-                    die_start = max(self._unit_avail[die], issue)
-                    die_end = die_start + timing.program_us
-                    self._unit_avail[die] = die_end
+                    _, die_end = self.units.reserve(die, issue, timing.program_us)
                     op_finish = die_end
                 else:
-                    transfer_start = max(self._channel_avail[channel], issue)
-                    transfer_end = transfer_start + self.latency.transfer_us(op.payload_bytes)
-                    die_start = max(self._unit_avail[die], transfer_end)
-                    die_end = die_start + timing.program_us
-                    self._channel_avail[channel] = transfer_end
-                    self._unit_avail[die] = die_end
+                    transfer_start, transfer_end = self.channels.reserve(
+                        channel, issue, self.latency.transfer_us(op.payload_bytes)
+                    )
+                    _, die_end = self.units.reserve(
+                        die, transfer_end, timing.program_us
+                    )
                     op_finish = die_end
                     self.stats.busy_transfer_us += transfer_end - transfer_start
                 self.stats.busy_program_us += timing.program_us
                 self.stats.record_op_counts(op.kind, programs=1)
             else:  # ERASE
-                die_start = max(self._unit_avail[die], issue)
-                die_end = die_start + self.latency.erase_us
-                self._unit_avail[die] = die_end
+                _, die_end = self.units.reserve(die, issue, self.latency.erase_us)
                 op_finish = die_end
                 self.stats.erases += 1
                 self.stats.busy_erase_us += self.latency.erase_us
-            finish = max(finish, op_finish)
+            if op_finish > finish:
+                finish = op_finish
         return finish
 
-    # -- idle-time GC (Implication 2) -----------------------------------------------
+    # -- idle/power timers (Implication 2 + Characteristic 4) -------------------------
 
-    def _maybe_idle_gc(self, dispatch: float) -> None:
-        if not self.config.idle_gc:
-            return
-        gap = dispatch - self.power.last_activity_end_us
-        if gap < self.config.idle_gc_min_gap_us:
-            return
+    def _arm_activity_timers(self) -> None:
+        """Arm the speculative "nothing else happens" timers.
+
+        Scheduled relative to the last activity end; the next arrival
+        cancels whichever have not fired.  The kernel's tie-break
+        priorities reproduce the old gap comparisons exactly: IDLE_GC
+        beats a same-instant arrival (the old check was ``gap >=
+        min_gap``), POWER_DOWN loses to one (the old check was strictly
+        ``gap > threshold``).
+        """
+        last_end = self.power.last_activity_end_us
+        if self.config.idle_gc:
+            self._idle_gc_timer = self.kernel.schedule(
+                last_end + self.config.idle_gc_min_gap_us,
+                self._fire_idle_gc,
+                kind=EventKind.IDLE_GC,
+            )
+        self._power_down_timer = self.kernel.schedule(
+            self.power.sleep_deadline_us,
+            self._fire_power_down,
+            kind=EventKind.POWER_DOWN,
+        )
+
+    def _cancel_activity_timers(self) -> None:
+        """A dispatch happened: pending idle/power deadlines are moot."""
+        if self._idle_gc_timer is not None:
+            self.kernel.cancel(self._idle_gc_timer)
+            self._idle_gc_timer = None
+        if self._power_down_timer is not None:
+            self.kernel.cancel(self._power_down_timer)
+            self._power_down_timer = None
+
+    def _fire_idle_gc(self, event: Event) -> None:
+        """The device has been idle ``idle_gc_min_gap_us``: collect now."""
+        self._idle_gc_timer = None
         results = self.ftl.idle_collect(self.config.idle_gc_soft_threshold)
         if results:
             self.stats.idle_gc_collections += len(results)
@@ -366,6 +457,11 @@ class EmmcDevice:
                         self.stats.record_op_counts(op.kind, reads=1)
                     elif op.op_type is FlashOpType.PROGRAM:
                         self.stats.record_op_counts(op.kind, programs=1)
+
+    def _fire_power_down(self, event: Event) -> None:
+        """The device has been idle ``power_threshold_us``: power down."""
+        self._power_down_timer = None
+        self.power.sleep(event.time_us)
 
     # -- accounting --------------------------------------------------------------------
 

@@ -25,13 +25,34 @@ class PowerState(enum.Enum):
 
 @dataclass
 class PowerModel:
-    """Tracks idleness and charges wake-up latency."""
+    """Tracks idleness and charges wake-up latency.
+
+    Two usage styles coexist:
+
+    * *Arithmetic* (:meth:`state_at` / :meth:`wakeup_penalty`): derive the
+      state from the idle gap at dispatch time.  This is the original
+      closed-form model and remains the authority for the warm-up charge
+      and the switch counters -- keeping the exact comparison
+      ``gap > power_threshold_us`` is what keeps replay bit-identical.
+    * *Event-driven* (:meth:`sleep` / :meth:`wake`): the device kernel
+      schedules a ``POWER_DOWN`` timer at
+      ``last_activity_end_us + power_threshold_us``; if no dispatch
+      cancels it, :meth:`sleep` marks the transition, and the next
+      dispatch calls :meth:`wake`.  The flag gives mid-simulation
+      observability (``is_low_power``) that the closed form could only
+      reconstruct after the fact.
+    """
 
     power_threshold_us: float
     warmup_us: float
     _last_activity_end_us: float = 0.0
     wakeups: int = 0
     mode_switches: int = 0
+    #: Event-driven state: True between a POWER_DOWN timer firing and the
+    #: next dispatch's wake().
+    _low_power: bool = False
+    #: Telemetry: how many times the timer actually put the device down.
+    low_power_entries: int = 0
 
     def state_at(self, now_us: float) -> PowerState:
         """Power state just before a request arriving at ``now_us``."""
@@ -46,6 +67,35 @@ class PowerModel:
             self.mode_switches += 2  # down and back up
             return self.warmup_us
         return 0.0
+
+    # -- event-driven transitions (driven by the device kernel) ----------------
+
+    def sleep(self, now_us: float) -> None:
+        """A POWER_DOWN timer fired: enter low-power mode at ``now_us``."""
+        if not self._low_power:
+            self._low_power = True
+            self.low_power_entries += 1
+
+    def wake(self, dispatch_us: float) -> float:
+        """Charge the warm-up for a dispatch; clears the low-power flag.
+
+        The returned penalty (and the switch counters) come from the same
+        arithmetic as :meth:`wakeup_penalty`, so an event-driven device is
+        charge-for-charge identical to the closed-form model.
+        """
+        penalty = self.wakeup_penalty(dispatch_us)
+        self._low_power = False
+        return penalty
+
+    @property
+    def is_low_power(self) -> bool:
+        """Event-driven state: has a POWER_DOWN timer fired since activity?"""
+        return self._low_power
+
+    @property
+    def sleep_deadline_us(self) -> float:
+        """When the device will power down if nothing else happens."""
+        return self._last_activity_end_us + self.power_threshold_us
 
     def record_activity_end(self, finish_us: float) -> None:
         """Note when the device last finished work."""

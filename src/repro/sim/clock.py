@@ -1,0 +1,49 @@
+"""The simulation clock: a single monotone notion of "now".
+
+Before this kernel existed, every layer kept its own private clock --
+``EmmcDevice`` tracked ``_last_finish`` and per-resource availability
+floats, ``AndroidStack`` serialized through ``_last_submit_us``, and the
+power/idle-GC bookkeeping re-derived time from activity gaps.  The
+``SimClock`` replaces all of those with one authoritative event time that
+only ever moves forward.
+
+Times are microseconds throughout, matching :mod:`repro.trace`.
+"""
+
+from __future__ import annotations
+
+
+class SimTimeError(ValueError):
+    """Raised when an operation would move simulated time backwards."""
+
+
+class SimClock:
+    """Monotone simulation time, advanced only by the event loop."""
+
+    __slots__ = ("_now_us",)
+
+    def __init__(self, start_us: float = 0.0) -> None:
+        if start_us < 0:
+            raise SimTimeError(f"clock cannot start before zero: {start_us}")
+        self._now_us = float(start_us)
+
+    @property
+    def now_us(self) -> float:
+        """Current simulated time, microseconds."""
+        return self._now_us
+
+    def advance_to(self, time_us: float) -> float:
+        """Move the clock forward to ``time_us`` (no-op when already there).
+
+        Raises :class:`SimTimeError` on an attempt to move backwards -- the
+        invariant that makes event processing causally sound.
+        """
+        if time_us < self._now_us:
+            raise SimTimeError(
+                f"cannot advance clock backwards: {time_us} < {self._now_us}"
+            )
+        self._now_us = time_us
+        return self._now_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now_us={self._now_us})"

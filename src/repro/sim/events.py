@@ -1,0 +1,100 @@
+"""Typed events and their deterministic ordering.
+
+Every event carries ``(time_us, priority, seq)`` and the heap pops events
+in exactly that lexicographic order.  The per-kind priorities encode the
+model's tie-break semantics at *equal* timestamps; they were chosen so the
+event-driven device is bit-identical to the old inline arithmetic at
+``queue_depth=1``:
+
+* ``COMPLETE`` before everything -- a request finishing at *t* frees its
+  queue slot for an arrival at *t* (the old admission filter kept only
+  strictly-later finishes outstanding).
+* ``IDLE_GC`` before arrivals -- the old model collected when the idle gap
+  was ``>= idle_gc_min_gap_us`` (inclusive), so a timer expiring exactly
+  at an arrival still collects first.
+* ``ARRIVAL`` / ``APP_OP`` next -- host requests and the Android-stack ops
+  that generate them.  Arrivals sort ahead of app ops so that monitor
+  flushes scheduled at a completion instant are served before a new app op
+  at the same instant, matching the old inline submission order.
+* ``POWER_DOWN`` last -- the old model entered low power only when the gap
+  was *strictly* greater than the threshold, so a dispatch at exactly the
+  power deadline cancels the transition.
+
+``seq`` is a global monotone counter: events scheduled earlier win ties,
+which is what makes whole-simulation event order reproducible run-to-run
+and process-to-process.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class EventKind(enum.Enum):
+    """What an event represents; the value is its tie-break priority."""
+
+    COMPLETE = 0
+    IDLE_GC = 1
+    ARRIVAL = 2
+    APP_OP = 3
+    POWER_DOWN = 4
+    GENERIC = 5
+
+    @property
+    def priority(self) -> int:
+        """Tie-break rank at equal timestamps (lower pops first)."""
+        return self.value
+
+    @property
+    def is_timer(self) -> bool:
+        """Timers are speculative: they model "if nothing else happens".
+
+        A drain that only wants to finish outstanding *work* (arrivals,
+        completions) can stop once only timers remain -- a trailing idle-GC
+        or power-down deadline after the last request must not fire, which
+        is exactly the old models' end-of-trace behaviour.
+        """
+        return self in (EventKind.IDLE_GC, EventKind.POWER_DOWN)
+
+
+@dataclass
+class Event:
+    """One scheduled occurrence in the simulation.
+
+    Attributes:
+        time_us: when the event fires.
+        kind: typed :class:`EventKind` (drives the tie-break priority).
+        seq: globally monotone scheduling sequence number.
+        callback: invoked as ``callback(event)`` when the event fires.
+        payload: arbitrary data for the callback / observability.
+        label: short human-readable tag for traces and debugging.
+        canceled: lazily-deleted flag (the heap skips canceled events).
+    """
+
+    time_us: float
+    kind: EventKind
+    seq: int
+    callback: Optional[Callable[["Event"], None]] = None
+    payload: Any = None
+    label: str = ""
+    canceled: bool = field(default=False, compare=False)
+    #: Precomputed ``(time, priority, seq)`` -- heap comparisons are the
+    #: hottest path of the kernel, so the key is built exactly once.
+    sort_key: tuple = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.sort_key = (self.time_us, self.kind.value, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key < other.sort_key
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it (lazy deletion)."""
+        self.canceled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " canceled" if self.canceled else ""
+        tag = f" {self.label}" if self.label else ""
+        return f"Event({self.kind.name}@{self.time_us}#{self.seq}{tag}{state})"

@@ -1,0 +1,178 @@
+"""The heap-based discrete-event loop shared by device and Android stack.
+
+One :class:`EventLoop` instance is the beating heart of a simulation: the
+device schedules request completions and idle/power timers on it, the
+Android stack schedules application ops and monitor-flush arrivals, and
+everything is processed in the deterministic ``(time, priority, seq)``
+order defined by :mod:`repro.sim.events`.
+
+Two drain styles:
+
+* :meth:`run_until` -- process everything due up to (and including) a
+  time; used by the synchronous ``EmmcDevice.submit`` path, which keeps
+  the old closed-loop collection methodology bit-identical.
+* :meth:`drain` -- process until only speculative timers remain; used for
+  whole-trace replay and stack runs, where a trailing idle-GC or
+  power-down deadline after the last request must not fire.
+
+The loop records an optional event trace (``record_events=True``) so
+tests can assert *identical event order* across runs and processes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from .clock import SimClock, SimTimeError
+from .events import Event, EventKind
+
+#: One recorded trace entry: (time_us, priority, seq, kind name, label).
+TracePoint = Tuple[float, int, int, str, str]
+
+
+class EventLoop:
+    """Deterministic discrete-event scheduler around a :class:`SimClock`."""
+
+    def __init__(self, start_us: float = 0.0, record_events: bool = False) -> None:
+        self.clock = SimClock(start_us)
+        self._heap: List[Event] = []
+        self._seq = 0
+        #: Pending non-timer events (arrivals, completions, app ops).
+        self._material_pending = 0
+        #: Telemetry: events processed / scheduled / canceled so far.
+        self.processed = 0
+        self.scheduled = 0
+        self.cancellations = 0
+        self.record_events = record_events
+        self.event_trace: List[TracePoint] = []
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def now_us(self) -> float:
+        """Current simulated time."""
+        return self.clock.now_us
+
+    def __len__(self) -> int:
+        """Number of scheduled-and-not-canceled events still pending."""
+        return sum(1 for event in self._heap if not event.canceled)
+
+    def pending_material(self) -> int:
+        """Pending non-timer events (work that must still be processed)."""
+        return self._material_pending
+
+    def peek_time(self) -> Optional[float]:
+        """Fire time of the next live event, or ``None`` when drained."""
+        self._discard_canceled()
+        return self._heap[0].time_us if self._heap else None
+
+    # -- scheduling --------------------------------------------------------------
+
+    def schedule(
+        self,
+        time_us: float,
+        callback: Optional[Callable[[Event], None]] = None,
+        kind: EventKind = EventKind.GENERIC,
+        payload: Any = None,
+        label: str = "",
+    ) -> Event:
+        """Add an event at ``time_us``; refuses times before the clock."""
+        if time_us < self.clock.now_us:
+            raise SimTimeError(
+                f"cannot schedule {kind.name} at {time_us}: "
+                f"clock already at {self.clock.now_us}"
+            )
+        event = Event(
+            time_us=time_us,
+            kind=kind,
+            seq=self._seq,
+            callback=callback,
+            payload=payload,
+            label=label,
+        )
+        self._seq += 1
+        self.scheduled += 1
+        if not kind.is_timer:
+            self._material_pending += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a pending event (no-op for ``None`` or already-canceled)."""
+        if event is None or event.canceled:
+            return
+        event.cancel()
+        self.cancellations += 1
+        if not event.kind.is_timer:
+            self._material_pending -= 1
+
+    # -- processing --------------------------------------------------------------
+
+    def _discard_canceled(self) -> None:
+        while self._heap and self._heap[0].canceled:
+            heapq.heappop(self._heap)
+
+    def _fire(self, event: Event) -> None:
+        self.clock.advance_to(event.time_us)
+        if not event.kind.is_timer:
+            self._material_pending -= 1
+        self.processed += 1
+        if self.record_events:
+            self.event_trace.append(
+                (event.time_us, event.kind.priority, event.seq,
+                 event.kind.name, event.label)
+            )
+        if event.callback is not None:
+            event.callback(event)
+
+    def step(self) -> bool:
+        """Fire the single next live event; False when nothing is pending."""
+        self._discard_canceled()
+        if not self._heap:
+            return False
+        self._fire(heapq.heappop(self._heap))
+        return True
+
+    def run_until(self, time_us: float) -> int:
+        """Fire every event due at or before ``time_us``; advance the clock.
+
+        Returns the number of events fired.  Events scheduled *during*
+        processing are themselves fired when due within the window.
+        """
+        fired = 0
+        while True:
+            self._discard_canceled()
+            if not self._heap or self._heap[0].time_us > time_us:
+                break
+            self._fire(heapq.heappop(self._heap))
+            fired += 1
+        if time_us > self.clock.now_us:
+            self.clock.advance_to(time_us)
+        return fired
+
+    def run(self) -> int:
+        """Fire absolutely everything, timers included; returns the count."""
+        fired = 0
+        while self.step():
+            fired += 1
+        return fired
+
+    def drain(self) -> int:
+        """Fire events until only speculative timers remain.
+
+        Timers *preceding* material work still fire (an idle-GC deadline
+        between two bursts is real); timers trailing the last arrival or
+        completion are left pending, matching the old end-of-run
+        semantics where nothing happens after the final request.
+        """
+        fired = 0
+        while self._material_pending > 0 and self.step():
+            fired += 1
+        return fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EventLoop(now={self.clock.now_us}, pending={len(self)}, "
+            f"processed={self.processed})"
+        )
