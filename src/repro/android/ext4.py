@@ -70,6 +70,19 @@ class Ext4Layer:
         self._group_cursor: Dict[int, int] = {}
         self.stats = Ext4Stats()
 
+    # -- public queries ---------------------------------------------------------
+
+    def file_size_bytes(self, path: str) -> int:
+        """Allocated size of ``path`` in bytes (0 for a file never seen).
+
+        The append path of the stack (``AppOp(..., offset=None)``) asks
+        the file system where the file currently ends; sparse writes and
+        reads materialize blocks, so this is the *allocated* size, which
+        is what an append lands after.
+        """
+        state = self._files.get(path)
+        return 0 if state is None else state.size_blocks * SECTOR
+
     # -- allocation -------------------------------------------------------------
 
     def _group_of(self, path: str) -> int:

@@ -31,6 +31,8 @@ class AppOp:
         path: file identifier (database file, media file, cache file).
         nbytes: payload size (ignored for FSYNC).
         offset: file offset for reads/overwrites; ``None`` appends.
+        origin: which application issued the op (concurrent runs tag ops
+            so equal-time ties break by app name, not submission order).
     """
 
     at_us: float
@@ -38,6 +40,7 @@ class AppOp:
     path: str
     nbytes: int = 0
     offset: int = None  # type: ignore[assignment]
+    origin: str = ""
 
     def __post_init__(self) -> None:
         if self.at_us < 0:

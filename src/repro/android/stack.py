@@ -5,10 +5,20 @@ driver (packing) -> eMMC device, with BIOtracer instrumenting the bottom
 of the stack.  Running an application model through the stack *collects* a
 block-level trace mechanistically -- the companion to the calibrated
 statistical generator in :mod:`repro.workloads` (see DESIGN.md).
+
+The stack shares the device's event kernel: application ops are ``APP_OP``
+events, the block requests they lower to are ``ARRIVAL`` events, and the
+monitor's log flushes are scheduled from the triggering request's
+``COMPLETE`` event.  Requests therefore keep their *natural* arrival
+times -- the old implementation serialized every submission through a
+``_last_submit_us`` clamp, which silently pushed whole bursts later
+whenever a tracer flush intervened; now a request that must wait simply
+waits in the admission queue, visible as ``wait_us``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from dataclasses import dataclass
 from typing import List, Optional
@@ -17,15 +27,17 @@ import numpy as np
 
 from repro.trace import MIB, Request, Trace, US_PER_S
 from repro.emmc.device import EmmcDevice
+from repro.emmc.stats import DeviceStats
+from repro.sim import EventKind
 
 from .apps import AppModel, app_model
 from .biotracer import BIOTracer, TracerStats
-from .block_layer import BlockLayer
-from .emmc_driver import EmmcDriver
-from .ext4 import BlockIO, Ext4Layer
+from .block_layer import BlockLayer, BlockLayerStats
+from .emmc_driver import DriverStats, EmmcDriver
+from .ext4 import BlockIO, Ext4Layer, Ext4Stats
 from .fileops import AppOp, AppOpType, FileOp, FileOpType
-from .page_cache import PageCache
-from .sqlite import SQLiteLayer
+from .page_cache import PageCache, PageCacheStats
+from .sqlite import SQLiteLayer, SQLiteStats
 
 
 @dataclass
@@ -34,12 +46,12 @@ class StackResult:
 
     trace: Trace
     tracer_stats: TracerStats
-    sqlite_stats: object
-    ext4_stats: object
-    cache_stats: object
-    block_stats: object
-    driver_stats: object
-    device_stats: object
+    sqlite_stats: SQLiteStats
+    ext4_stats: Ext4Stats
+    cache_stats: PageCacheStats
+    block_stats: BlockLayerStats
+    driver_stats: DriverStats
+    device_stats: DeviceStats
 
     @property
     def software_write_amplification(self) -> float:
@@ -54,9 +66,16 @@ class AndroidStack:
     """Wires the layers of Fig. 1 on top of a simulated eMMC device."""
 
     def __init__(self, device: EmmcDevice, name: str = "stack", seed: int = 0) -> None:
+        self._name = name
+        self._seed = seed
+        # The base stream keeps the historical (name, seed) derivation so
+        # single-app runs reproduce the traces they always produced.
         digest = hashlib.sha256(f"{name}:{seed}".encode()).digest()
         self._rng = np.random.default_rng(int.from_bytes(digest[:8], "big"))
         self.device = device
+        #: The stack runs on the device's event kernel: app ops, block
+        #: request arrivals and monitor flushes all share one clock.
+        self.kernel = device.kernel
         self.sqlite = SQLiteLayer(self._rng)
         self.cache = PageCache()
         self.ext4 = Ext4Layer(device_bytes=device.capacity_bytes)
@@ -64,7 +83,16 @@ class AndroidStack:
         self.driver = EmmcDriver()
         # Keep the monitor's log away from the block groups apps land in.
         self.tracer = BIOTracer(name=name, log_lba=device.capacity_bytes // 2)
-        self._last_submit_us = 0.0
+
+    def _stream(self, label: str) -> np.random.Generator:
+        """A named, independent random stream derived from (name, seed).
+
+        Streams depend only on their label -- never on how many draws some
+        other stream has consumed -- which is what makes concurrent-app
+        runs independent of the order the apps are listed in.
+        """
+        digest = hashlib.sha256(f"{self._name}:{self._seed}:{label}".encode()).digest()
+        return np.random.default_rng(int.from_bytes(digest[:8], "big"))
 
     # -- public API ---------------------------------------------------------------
 
@@ -82,22 +110,55 @@ class AndroidStack:
         device -- which is exactly the "limited shared resources" situation
         the paper gives for combo traces showing higher rates than the sum
         of their parts.
+
+        Each app draws from its own named random stream and its ops are
+        tagged with an ``origin``, so both the generated ops and their
+        interleaving are invariant under permutations of ``apps``.
         """
-        ops = []
+        ops: List[AppOp] = []
         for app in apps:
             if isinstance(app, str):
                 app = app_model(app)
-            ops.extend(app.ops(duration_s * US_PER_S, self._rng))
+            app_ops = app.ops(duration_s * US_PER_S, self._stream(f"app:{app.name}"))
+            ops.extend(
+                dataclasses.replace(op, origin=app.name) for op in app_ops
+            )
         return self.run_ops(ops)
 
     def run_ops(self, ops: List[AppOp]) -> StackResult:
-        """Push app-level ops through every layer down to the device."""
-        for op in sorted(ops, key=lambda o: o.at_us):
-            self.handle_op(op)
+        """Schedule app-level ops on the kernel and drain it.
+
+        Ops fire as ``APP_OP`` events in ``(time, origin)`` order,
+        interleaved with device completions and monitor flushes at their
+        natural instants.
+        """
+        for op in sorted(ops, key=lambda o: (o.at_us, o.origin)):
+            self.kernel.schedule(
+                max(op.at_us, self.kernel.now_us),
+                self._fire_app_op,
+                kind=EventKind.APP_OP,
+                payload=op,
+            )
+        self.kernel.drain()
         return self._result()
 
     def handle_op(self, op: AppOp) -> None:
-        """Push one app-level op through every layer to the device."""
+        """Push one app-level op through the stack, synchronously.
+
+        Lowers the op, schedules the resulting block requests, and drains
+        the kernel so the op's full effect (including completions and any
+        monitor flush) is visible on return.
+        """
+        self._lower_op(op)
+        self.kernel.drain()
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _fire_app_op(self, event) -> None:
+        self._lower_op(event.payload)
+
+    def _lower_op(self, op: AppOp) -> None:
+        """Push one app op through every layer; schedule its block I/O."""
         file_ops = self._to_file_ops(op)
         cache_out: List[FileOp] = []
         for file_op in file_ops:
@@ -109,8 +170,6 @@ class AndroidStack:
             return
         requests = self.driver.pack(self.block_layer.submit(bios))
         self._dispatch(requests)
-
-    # -- internals ---------------------------------------------------------------------
 
     def _to_file_ops(self, op: AppOp) -> List[FileOp]:
         if op.op_type in (AppOpType.DB_QUERY, AppOpType.DB_TRANSACTION):
@@ -127,26 +186,41 @@ class AndroidStack:
         raise ValueError(f"unhandled op type {op.op_type}")
 
     def _append_offset(self, path: str) -> int:
-        state = self.ext4._files.get(path)
-        return 0 if state is None else state.size_blocks * 4096
+        return self.ext4.file_size_bytes(path)
 
     def _dispatch(self, requests: List[BlockIO]) -> None:
-        """Send packed requests to the device; record them via BIOtracer."""
+        """Schedule packed requests as arrivals on the device's kernel.
+
+        Arrivals keep their natural times (clamped to "now" -- a request
+        cannot arrive in the simulation's past); the admission queue, not
+        the producer, decides when each is dispatched.
+        """
         for bio in requests:
-            arrival = max(bio.at_us, self._last_submit_us)
-            self._last_submit_us = arrival
-            completed = self.device.submit(
-                Request(arrival_us=arrival, lba=bio.lba, size=bio.nbytes, op=bio.op)
+            self.device.arrive(
+                Request(
+                    arrival_us=max(bio.at_us, self.kernel.now_us),
+                    lba=bio.lba,
+                    size=bio.nbytes,
+                    op=bio.op,
+                ),
+                on_complete=self._on_device_complete,
             )
-            flush_ios = self.tracer.record(completed)
-            if flush_ios:
-                for extra in flush_ios:
-                    arrival = max(extra.arrival_us, self._last_submit_us)
-                    self._last_submit_us = arrival
-                    self.device.submit(
-                        Request(arrival_us=arrival, lba=extra.lba,
-                                size=extra.size, op=extra.op)
+
+    def _on_device_complete(self, completed: Request) -> None:
+        """A traced request finished: record it; flush the log if full."""
+        flush_ios = self.tracer.record(completed)
+        if flush_ios:
+            for extra in flush_ios:
+                # The monitor's own log writes: replayed on the device but
+                # never recorded (they are not part of the collected trace).
+                self.device.arrive(
+                    Request(
+                        arrival_us=max(extra.arrival_us, self.kernel.now_us),
+                        lba=extra.lba,
+                        size=extra.size,
+                        op=extra.op,
                     )
+                )
 
     def _result(self) -> StackResult:
         return StackResult(

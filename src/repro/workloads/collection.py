@@ -26,6 +26,7 @@ from typing import List, Optional
 from repro.trace import Op, Request, SECTOR, Trace
 from repro.emmc.configs import four_ps
 from repro.emmc.device import DeviceConfig, EmmcDevice
+from repro.emmc.stats import DeviceStats
 
 from .addresses import AccessMode
 from .generator import DEFAULT_SEED, _calibrated_temporal, _rng_for
@@ -37,7 +38,7 @@ class CollectionResult:
     """A collected (completed) trace plus the collecting device's stats."""
 
     trace: Trace
-    device_stats: object
+    device_stats: DeviceStats
 
 
 #: Cache of calibrated sync fractions, keyed by (app, seed).
