@@ -16,6 +16,7 @@ from repro.workloads import (
 )
 from repro.workloads.collection import CollectionResult, collect
 from repro.emmc import DeviceConfig, EmmcDevice, ReplayResult, four_ps
+from repro.sim import Host
 
 T = TypeVar("T")
 
@@ -157,8 +158,15 @@ def all_traces(
 
 
 def replay_on(config: DeviceConfig, trace: Trace) -> ReplayResult:
-    """Replay ``trace`` on a brand-new device built from ``config``."""
-    return EmmcDevice(config).replay(trace.without_timing())
+    """Replay ``trace`` open-loop on a brand-new device built from ``config``.
+
+    This is the experiments' one front door to the device: a
+    :class:`repro.sim.Host` schedules every request as an ``ARRIVAL``
+    event on the device's kernel and drains the loop, so figure replays
+    take exactly the Host -> AdmissionQueue -> EmmcDevice path the rest
+    of the codebase uses.
+    """
+    return Host(EmmcDevice(config)).replay(trace.without_timing())
 
 
 def replayed_individual(

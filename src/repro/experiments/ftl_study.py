@@ -24,6 +24,7 @@ from typing import Dict, Optional
 from repro.analysis import render_table
 from repro.workloads import DEFAULT_SEED, generate_trace
 from repro.emmc import EmmcDevice, four_ps
+from repro.sim import Host
 
 from .common import ExperimentResult
 from .spec import ExperimentSpec
@@ -51,7 +52,8 @@ def run(
             if log_blocks is not None:
                 overrides["log_blocks"] = log_blocks
             device = EmmcDevice(four_ps(**overrides))
-            result = device.replay(trace.without_timing())
+            # Route through the Host; keep the device for FTL inspection.
+            result = Host(device).replay(trace.without_timing())
             label = scheme if log_blocks is None else f"{scheme}({log_blocks})"
             if scheme == "page":
                 merges = 0

@@ -20,9 +20,10 @@ from typing import Optional
 from repro.trace import KIB, MIB, Op, Request
 from repro.analysis import render_table, small_request_share
 from repro.emmc import EmmcDevice, Geometry, PageKind, collect_wear, four_ps
+from repro.sim import Host
 from repro.workloads import DEFAULT_SEED, INDIVIDUAL_APPS, generate_trace
 
-from .common import ExperimentResult, individual_traces
+from .common import ExperimentResult, individual_traces, replay_on
 from .spec import ExperimentSpec
 
 
@@ -31,8 +32,8 @@ def _implication_1(trace) -> dict:
     results = {}
     for channels in (1, 2, 4):
         geometry = dataclasses.replace(four_ps().geometry, channels=channels)
-        device = EmmcDevice(four_ps(geometry=geometry))
-        results[channels] = device.replay(trace.without_timing()).stats.mean_response_ms
+        config = four_ps(geometry=geometry)
+        results[channels] = replay_on(config, trace).stats.mean_response_ms
     return results
 
 
@@ -69,7 +70,7 @@ def _implication_2(seed: int) -> dict:
 def _implication_3(trace) -> dict:
     """RAM buffer hit rate on a real workload."""
     device = EmmcDevice(four_ps(ram_buffer_bytes=8 * MIB))
-    device.replay(trace.without_timing())
+    Host(device).replay(trace.without_timing())
     stats = device.buffer.stats
     total = stats.read_hits + stats.read_misses
     return {

@@ -16,10 +16,10 @@ from typing import Dict, Optional, Sequence
 
 from repro.analysis import render_table
 from repro.workloads import DEFAULT_SEED, generate_trace
-from repro.emmc import EmmcDevice, four_ps
+from repro.emmc import four_ps
 from repro.emmc.energy import EnergyParams, energy_report
 
-from .common import ExperimentResult
+from .common import ExperimentResult, replay_on
 from .spec import ExperimentSpec
 
 #: Threshold sweep, microseconds (10 ms .. 10 s plus "never sleeps").
@@ -43,7 +43,7 @@ def run(
         config = config.with_overrides(
             latency=dataclasses.replace(config.latency, power_threshold_us=effective)
         )
-        result = EmmcDevice(config).replay(trace.without_timing())
+        result = replay_on(config, trace)
         report = energy_report(result.stats, params)
         label = "never" if threshold == float("inf") else f"{threshold / 1000:.0f} ms"
         data[label] = {

@@ -19,10 +19,10 @@ from typing import Dict, Optional, Sequence
 from repro.trace import Trace
 from repro.analysis import render_table
 from repro.workloads import DEFAULT_SEED, generate_trace
-from repro.emmc import EmmcDevice, Geometry, LatencyParams, PageKind, PageTiming, four_ps
+from repro.emmc import Geometry, LatencyParams, PageKind, PageTiming, four_ps
 from repro.emmc.device import DeviceConfig
 
-from .common import ExperimentResult
+from .common import ExperimentResult, replay_on
 from .spec import ExperimentSpec
 
 
@@ -86,7 +86,7 @@ def run(
             if len(part) == 0:
                 continue
             config = four_ps() if name == "internal" else sdcard_config()
-            result = EmmcDevice(config).replay(part.without_timing())
+            result = replay_on(config, part)
             responses.extend(result.stats.response_us)
         mrt_ms = sum(responses) / len(responses) / 1000.0 if responses else 0.0
         data[fraction] = mrt_ms

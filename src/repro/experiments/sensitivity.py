@@ -15,9 +15,9 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis import render_table
 from repro.workloads import DEFAULT_SEED, generate_trace
 from repro.workloads.scaling import scale_rate
-from repro.emmc import EmmcDevice, eight_ps, four_ps, hps
+from repro.emmc import eight_ps, four_ps, hps
 
-from .common import ExperimentResult
+from .common import ExperimentResult, replay_on
 from .spec import ExperimentSpec
 
 DEFAULT_FACTORS = (1.0, 2.0, 4.0, 8.0, 16.0)
@@ -38,7 +38,7 @@ def run(
         trace = scale_rate(base, factor)
         row = [f"{factor:g}x"]
         for name, config in configs.items():
-            mrt = EmmcDevice(config).replay(trace.without_timing()).stats.mean_response_ms
+            mrt = replay_on(config, trace).stats.mean_response_ms
             curves[name].append(mrt)
             row.append(mrt)
         row.append(f"{(1 - curves['HPS'][-1] / curves['4PS'][-1]) * 100:.1f}%")

@@ -12,9 +12,9 @@ from typing import List, Optional
 
 from repro.analysis import render_table
 from repro.workloads import DEFAULT_SEED
-from repro.emmc import EmmcDevice, four_ps, hps, hps_slc
+from repro.emmc import four_ps, hps, hps_slc
 
-from .common import ExperimentResult, individual_traces
+from .common import ExperimentResult, individual_traces, replay_on
 from .spec import ExperimentSpec
 
 DEFAULT_APPS = ("Twitter", "Messaging", "Facebook", "Booting", "Installing", "Movie")
@@ -38,7 +38,7 @@ def run(
     for trace in traces:
         mrt = {}
         for config in configs:
-            result = EmmcDevice(config).replay(trace.without_timing())
+            result = replay_on(config, trace)
             mrt[config.name] = result.stats.mean_response_ms
         mrt_data[trace.name] = mrt
         rows.append(
