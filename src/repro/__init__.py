@@ -1,9 +1,11 @@
 """repro: reproduction of "I/O Characteristics of Smartphone Applications
 and Their Implications for eMMC Design" (IISWC 2015).
 
-The package has five subsystems (see DESIGN.md):
+The package has six subsystems (see DESIGN.md):
 
 * :mod:`repro.trace` -- block-level I/O trace model and serialization;
+* :mod:`repro.sim` -- the shared discrete-event kernel (clock, event
+  loop, resource timelines, admission queue, host);
 * :mod:`repro.workloads` -- the 25 calibrated synthetic traces;
 * :mod:`repro.android` -- a simulated Android I/O stack with BIOtracer;
 * :mod:`repro.emmc` -- the event-driven eMMC simulator with the HPS scheme;

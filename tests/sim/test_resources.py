@@ -1,0 +1,95 @@
+"""Unit tests for resource timelines, pools and the admission queue."""
+
+import pytest
+
+from repro.sim import AdmissionQueue, ResourcePool, ResourceTimeline
+
+
+class TestResourceTimeline:
+    def test_serial_reservations(self):
+        timeline = ResourceTimeline("bus")
+        assert timeline.reserve(0.0, 10.0) == (0.0, 10.0)
+        # Earlier request finds the frontier, later one its own time.
+        assert timeline.reserve(5.0, 10.0) == (10.0, 20.0)
+        assert timeline.reserve(50.0, 10.0) == (50.0, 60.0)
+        assert timeline.busy_us == 30.0
+        assert timeline.reservations == 3
+
+    def test_peek_does_not_claim(self):
+        timeline = ResourceTimeline()
+        assert timeline.peek(3.0, 4.0) == (3.0, 7.0)
+        assert timeline.next_free_us == 0.0
+        assert timeline.reservations == 0
+
+    def test_is_free_at(self):
+        timeline = ResourceTimeline()
+        timeline.reserve(0.0, 10.0)
+        assert not timeline.is_free_at(9.0)
+        assert timeline.is_free_at(10.0)
+
+    def test_utilization(self):
+        timeline = ResourceTimeline()
+        timeline.reserve(0.0, 25.0)
+        assert timeline.utilization(100.0) == 0.25
+        assert timeline.utilization(0.0) == 0.0
+        assert timeline.utilization(10.0) == 1.0  # clamped
+
+
+class TestResourcePool:
+    def test_members_are_independent(self):
+        pool = ResourcePool(2, "channel")
+        pool.reserve(0, 0.0, 10.0)
+        assert pool.reserve(1, 0.0, 10.0) == (0.0, 10.0)
+        assert pool.reserve(0, 0.0, 10.0) == (10.0, 20.0)
+        assert pool.busy_us == 30.0
+        assert pool.reservations == 3
+        assert len(pool) == 2
+        assert [t.name for t in pool] == ["channel[0]", "channel[1]"]
+
+    def test_needs_at_least_one_member(self):
+        with pytest.raises(ValueError):
+            ResourcePool(0)
+
+
+class TestAdmissionQueue:
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+
+    def test_depth_one_serializes(self):
+        queue = AdmissionQueue(1)
+        assert queue.admit(0.0) == 0.0
+        queue.on_dispatch(100.0)
+        assert queue.admit(10.0) == 100.0  # waits for the device
+        queue.on_dispatch(150.0)
+        assert queue.admit(200.0) == 200.0  # device already idle
+        assert queue.slot_waits == 1
+        assert queue.max_in_flight == 1
+
+    def test_depth_two_overlaps_until_full(self):
+        queue = AdmissionQueue(2)
+        assert queue.admit(0.0) == 0.0
+        queue.on_dispatch(100.0)
+        assert queue.admit(0.0) == 0.0  # second slot free
+        queue.on_dispatch(50.0)
+        # Both in flight at t=10: wait for the earliest completion (50).
+        assert queue.admit(10.0) == 50.0
+        queue.on_dispatch(120.0)
+        assert queue.slot_waits == 1
+        assert queue.max_in_flight == 2
+        # By t=200 everything has drained.
+        assert queue.admit(200.0) == 200.0
+
+    def test_busy_until_and_in_flight(self):
+        shallow = AdmissionQueue(1)
+        shallow.on_dispatch(80.0)
+        assert shallow.busy_until_us == 80.0
+        assert shallow.in_flight_at(79.0) == 1
+        assert shallow.in_flight_at(80.0) == 0
+
+        deep = AdmissionQueue(4)
+        deep.on_dispatch(80.0)
+        deep.on_dispatch(60.0)
+        assert deep.busy_until_us == 80.0
+        assert deep.in_flight_at(70.0) == 1
+        assert deep.in_flight_at(10.0) == 2

@@ -7,6 +7,7 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.trace",
+    "repro.sim",
     "repro.workloads",
     "repro.android",
     "repro.emmc",
