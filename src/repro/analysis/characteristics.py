@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.trace import Trace, US_PER_MS
+from repro.trace import Trace, US_PER_MS, sequential_sum
 
 from .distributions import long_gap_share, small_request_share
 from .locality import measure as measure_localities
@@ -126,8 +126,10 @@ def characteristic_6(traces: Sequence[Trace]) -> CharacteristicResult:
     means_ms = []
     long_shares = []
     for trace in traces:
-        gaps = trace.inter_arrival_us()
-        means_ms.append(sum(gaps) / len(gaps) / US_PER_MS if gaps else 0.0)
+        gaps = trace.columns().inter_arrival_us
+        means_ms.append(
+            sequential_sum(gaps) / gaps.size / US_PER_MS if gaps.size else 0.0
+        )
         long_shares.append(long_gap_share(trace, threshold_ms=16.0))
     above_200 = sum(1 for mean in means_ms if mean >= 200.0)
     with_long_tail = sum(1 for share in long_shares if share > 0.20)

@@ -36,7 +36,32 @@ class SizeResponseCorrelation:
 
 
 def _rank(values: np.ndarray) -> np.ndarray:
-    """Average ranks (ties get the mean of their rank span)."""
+    """Average ranks (ties get the mean of their rank span).
+
+    Vectorized tie handling: after a stable argsort, tie-group boundaries
+    are the positions where the sorted values change; each group of span
+    ``[start, end)`` receives the rank ``(start + end - 1) / 2`` -- the
+    same integer expression the scalar tie loop evaluated, so the float
+    ranks are bit-identical (see :func:`_reference_rank`).
+    """
+    n = len(values)
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    order = np.argsort(values, kind="mergesort")
+    sorted_values = values[order]
+    starts = np.empty(n, dtype=bool)
+    starts[0] = True
+    np.not_equal(sorted_values[1:], sorted_values[:-1], out=starts[1:])
+    group_starts = np.flatnonzero(starts)
+    group_ends = np.append(group_starts[1:], n)
+    averaged = (group_starts + group_ends - 1) / 2.0
+    ranks = np.empty(n, dtype=np.float64)
+    ranks[order] = np.repeat(averaged, group_ends - group_starts)
+    return ranks
+
+
+def _reference_rank(values: np.ndarray) -> np.ndarray:
+    """Tie-loop implementation of :func:`_rank` (test oracle)."""
     order = np.argsort(values, kind="mergesort")
     ranks = np.empty(len(values), dtype=np.float64)
     ranks[order] = np.arange(len(values), dtype=np.float64)
@@ -63,6 +88,26 @@ def size_response_correlation(trace: Trace, use_service: bool = False) -> SizeRe
     instead -- the physical half of the paper's claim (the rest of the
     response is queueing, which the high no-wait ratios make small).
     """
+    columns = trace.columns()
+    completed_mask = columns.completed_mask
+    samples = int(np.count_nonzero(completed_mask))
+    if samples < 2:
+        return SizeResponseCorrelation(trace.name, 0.0, 0.0, samples)
+    sizes = columns.size[completed_mask].astype(np.float64)
+    responses = (columns.service_us if use_service else columns.response_us)[
+        completed_mask
+    ]
+    spearman = _safe_corrcoef(_rank(sizes), _rank(responses))
+    pearson = _safe_corrcoef(sizes, responses)
+    return SizeResponseCorrelation(
+        name=trace.name, spearman=spearman, pearson=pearson, samples=samples
+    )
+
+
+def _reference_size_response_correlation(
+    trace: Trace, use_service: bool = False
+) -> SizeResponseCorrelation:
+    """Request-loop implementation of :func:`size_response_correlation`."""
     completed = [r for r in trace if r.completed]
     sizes = np.array([r.size for r in completed], dtype=np.float64)
     responses = np.array(
@@ -71,7 +116,7 @@ def size_response_correlation(trace: Trace, use_service: bool = False) -> SizeRe
     )
     if len(completed) < 2:
         return SizeResponseCorrelation(trace.name, 0.0, 0.0, len(completed))
-    spearman = _safe_corrcoef(_rank(sizes), _rank(responses))
+    spearman = _safe_corrcoef(_reference_rank(sizes), _reference_rank(responses))
     pearson = _safe_corrcoef(sizes, responses)
     return SizeResponseCorrelation(
         name=trace.name, spearman=spearman, pearson=pearson, samples=len(completed)

@@ -3,38 +3,45 @@
 Each figure is a per-application stacked histogram; here a distribution is
 a ``{bucket label: fraction}`` dict over the paper's bucket edges (see
 :mod:`repro.workloads.buckets`).
+
+All three distributions are computed columnar: the value vector comes
+straight from the trace's struct-of-arrays view (sizes, ``complete_us -
+arrival_us`` over the completed mask, ``np.diff`` of arrivals) and
+:func:`~repro.workloads.buckets.histogram` bins it vectorized.  The
+``_reference_*`` request-loop twins are the bit-identity oracles.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
+import numpy as np
+
 from repro.trace import Trace, US_PER_MS
 from repro.workloads.buckets import (
     INTERARRIVAL_BUCKETS_MS,
     RESPONSE_BUCKETS_MS,
     SIZE_BUCKETS,
+    _reference_histogram,
     histogram,
 )
 
 
 def size_distribution(trace: Trace) -> Dict[str, float]:
     """Fig. 4 / Fig. 7a: request size histogram (fractions per bucket)."""
-    return histogram([request.size for request in trace], SIZE_BUCKETS)
+    return histogram(trace.columns().size, SIZE_BUCKETS)
 
 
 def response_distribution(trace: Trace) -> Dict[str, float]:
     """Fig. 5 / Fig. 7b: response-time histogram, for a replayed trace."""
-    values = [
-        request.response_us / US_PER_MS for request in trace if request.completed
-    ]
+    columns = trace.columns()
+    values = columns.response_us[columns.completed_mask] / US_PER_MS
     return histogram(values, RESPONSE_BUCKETS_MS)
 
 
 def interarrival_distribution(trace: Trace) -> Dict[str, float]:
     """Fig. 6 / Fig. 7c: inter-arrival-time histogram."""
-    values = [gap / US_PER_MS for gap in trace.inter_arrival_us()]
-    return histogram(values, INTERARRIVAL_BUCKETS_MS)
+    return histogram(trace.columns().inter_arrival_us / US_PER_MS, INTERARRIVAL_BUCKETS_MS)
 
 
 def small_request_share(trace: Trace) -> float:
@@ -44,7 +51,35 @@ def small_request_share(trace: Trace) -> float:
 
 def long_gap_share(trace: Trace, threshold_ms: float = 16.0) -> float:
     """Fraction of inter-arrival gaps above ``threshold_ms`` (Char. 6)."""
-    gaps = trace.inter_arrival_us()
+    gaps = trace.columns().inter_arrival_us
+    if not gaps.size:
+        return 0.0
+    return int(np.count_nonzero(gaps > threshold_ms * US_PER_MS)) / gaps.size
+
+
+# -- scalar reference oracles (kept for the vectorized-kernel test suite) -----
+
+
+def _reference_size_distribution(trace: Trace) -> Dict[str, float]:
+    return _reference_histogram([request.size for request in trace], SIZE_BUCKETS)
+
+
+def _reference_response_distribution(trace: Trace) -> Dict[str, float]:
+    values = [
+        request.response_us / US_PER_MS for request in trace if request.completed
+    ]
+    return _reference_histogram(values, RESPONSE_BUCKETS_MS)
+
+
+def _reference_interarrival_distribution(trace: Trace) -> Dict[str, float]:
+    arrivals = [r.arrival_us for r in trace.requests]
+    values = [(b - a) / US_PER_MS for a, b in zip(arrivals, arrivals[1:])]
+    return _reference_histogram(values, INTERARRIVAL_BUCKETS_MS)
+
+
+def _reference_long_gap_share(trace: Trace, threshold_ms: float = 16.0) -> float:
+    arrivals = [r.arrival_us for r in trace.requests]
+    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
     if not gaps:
         return 0.0
     return sum(1 for gap in gaps if gap > threshold_ms * US_PER_MS) / len(gaps)

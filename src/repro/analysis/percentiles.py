@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Union
 
 import numpy as np
 
@@ -15,25 +15,28 @@ def response_percentiles_ms(
     trace: Trace, percentiles: Sequence[float] = DEFAULT_PERCENTILES
 ) -> Dict[float, float]:
     """Response-time percentiles of a replayed trace, milliseconds."""
-    values = [r.response_us for r in trace if r.completed]
-    return _percentiles(values, percentiles)
+    columns = trace.columns()
+    return _percentiles(columns.response_us[columns.completed_mask], percentiles)
 
 
 def service_percentiles_ms(
     trace: Trace, percentiles: Sequence[float] = DEFAULT_PERCENTILES
 ) -> Dict[float, float]:
     """Service-time percentiles of a replayed trace, milliseconds."""
-    values = [r.service_us for r in trace if r.completed]
-    return _percentiles(values, percentiles)
+    columns = trace.columns()
+    return _percentiles(columns.service_us[columns.completed_mask], percentiles)
 
 
-def _percentiles(values: List[float], percentiles: Sequence[float]) -> Dict[float, float]:
+def _percentiles(
+    values: Union[List[float], np.ndarray], percentiles: Sequence[float]
+) -> Dict[float, float]:
     for p in percentiles:
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile {p} out of range")
-    if not values:
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
         return {p: 0.0 for p in percentiles}
-    array = np.asarray(values, dtype=np.float64) / US_PER_MS
+    array = array / US_PER_MS
     return {p: float(np.percentile(array, p)) for p in percentiles}
 
 
@@ -42,3 +45,20 @@ def cdf(values: Sequence[float]) -> List[tuple]:
     ordered = sorted(values)
     n = len(ordered)
     return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+# -- scalar reference oracles (kept for the vectorized-kernel test suite) -----
+
+
+def _reference_response_percentiles_ms(
+    trace: Trace, percentiles: Sequence[float] = DEFAULT_PERCENTILES
+) -> Dict[float, float]:
+    values = [r.response_us for r in trace if r.completed]
+    return _percentiles(values, percentiles)
+
+
+def _reference_service_percentiles_ms(
+    trace: Trace, percentiles: Sequence[float] = DEFAULT_PERCENTILES
+) -> Dict[float, float]:
+    values = [r.service_us for r in trace if r.completed]
+    return _percentiles(values, percentiles)

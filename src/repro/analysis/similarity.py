@@ -11,6 +11,11 @@ as a 4-8 ms response hump.  We quantify it two ways:
 * :func:`rank_alignment` -- Spearman correlation across applications
   between the *mean size bucket index* and the *mean response bucket
   index* (apps with bigger requests respond slower).
+
+Both measures consume the columnar (vectorized) histograms from
+:mod:`repro.analysis.distributions`; the cosine/rank arithmetic itself
+stays scalar on purpose -- it runs over six-bucket vectors, and keeping
+the reference summation order preserves bit-identity of the reports.
 """
 
 from __future__ import annotations

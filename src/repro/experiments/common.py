@@ -165,6 +165,12 @@ def replay_on(config: DeviceConfig, trace: Trace) -> ReplayResult:
     event on the device's kernel and drains the loop, so figure replays
     take exactly the Host -> AdmissionQueue -> EmmcDevice path the rest
     of the codebase uses.
+
+    Columnar wiring: generated traces arrive here already carrying their
+    struct-of-arrays view (adopted at synthesis time), and
+    ``without_timing`` preserves it zero-copy for never-replayed traces,
+    so the analysis kernels downstream of a replay never pay a
+    Request-unpacking pass for the input side.
     """
     return Host(EmmcDevice(config)).replay(trace.without_timing())
 

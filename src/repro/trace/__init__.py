@@ -1,6 +1,14 @@
 """Block-level I/O trace model, serialization and validation."""
 
 from .record import KIB, MIB, Op, Request, SECTOR, US_PER_MS, US_PER_S
+from .columns import (
+    FLAG_HAS_FINISH,
+    FLAG_HAS_SERVICE,
+    OP_READ,
+    OP_WRITE,
+    TraceColumns,
+    sequential_sum,
+)
 from .trace import Trace, merge
 from .blkparse import parse_blkparse
 from .io import dumps, loads, read_trace, write_trace
@@ -14,6 +22,12 @@ __all__ = [
     "SECTOR",
     "US_PER_MS",
     "US_PER_S",
+    "FLAG_HAS_FINISH",
+    "FLAG_HAS_SERVICE",
+    "OP_READ",
+    "OP_WRITE",
+    "TraceColumns",
+    "sequential_sum",
     "Trace",
     "merge",
     "parse_blkparse",

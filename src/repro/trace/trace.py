@@ -5,7 +5,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
+import numpy as np
+
+from .columns import FLAG_HAS_FINISH, TraceColumns
 from .record import Op, Request, US_PER_S
+
+
+def _is_arrival_sorted(requests: List[Request]) -> bool:
+    """O(n) check that ``requests`` is non-decreasing in arrival time.
+
+    The common construction paths (the workload generator's cumulative-sum
+    arrivals, device replays, ``merge`` of pre-sorted traces re-sorted by
+    ``Trace`` anyway) already deliver arrival order, so ``__post_init__``
+    can skip its O(n log n) sort for them.
+    """
+    previous = None
+    for request in requests:
+        arrival = request.arrival_us
+        if previous is not None and arrival < previous:
+            return False
+        previous = arrival
+    return True
 
 
 @dataclass
@@ -19,6 +39,12 @@ class Trace:
         name: short identifier, e.g. ``"Twitter"`` or ``"Music/WB"``.
         requests: records sorted by arrival time.
         metadata: free-form string metadata (e.g. generator seed, profile).
+
+    Besides the ``Request``-level API (which the simulator consumes), a
+    trace lazily exposes a columnar struct-of-arrays view via
+    :meth:`columns` that the vectorized analysis kernels operate on; see
+    :mod:`repro.trace.columns` for the schema and the cache-invalidation
+    contract.
     """
 
     name: str
@@ -26,7 +52,86 @@ class Trace:
     metadata: Dict[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        self.requests = sorted(self.requests, key=lambda r: r.arrival_us)
+        # Always take our own copy (callers may go on mutating theirs), but
+        # only pay the O(n log n) sort when the input is actually unsorted.
+        requests = list(self.requests)
+        if not _is_arrival_sorted(requests):
+            requests.sort(key=lambda r: r.arrival_us)
+        self.requests = requests
+        # Columnar cache -- deliberately *not* dataclass fields, so that
+        # equality, repr and dataclasses.asdict() are unaffected.
+        self._columns: Optional[TraceColumns] = None
+        self._columns_token = None
+
+    # -- columnar view --------------------------------------------------------
+
+    def columns(self) -> TraceColumns:
+        """The cached struct-of-arrays view of this trace.
+
+        Built lazily on first use and invalidated automatically when the
+        ``requests`` list is rebound or changes length.  **Contract:** a
+        same-length in-place element assignment (``trace.requests[i] = r``)
+        is invisible to this check -- call :meth:`invalidate_columns` after
+        such a mutation.  Treat the returned arrays as read-only.
+        """
+        token = (id(self.requests), len(self.requests))
+        cached = self._columns
+        if cached is not None and self._columns_token == token:
+            return cached
+        cached = TraceColumns.from_requests(self.requests)
+        self._columns = cached
+        self._columns_token = token
+        return cached
+
+    def invalidate_columns(self) -> None:
+        """Drop the cached columnar view (next :meth:`columns` rebuilds)."""
+        self._columns = None
+        self._columns_token = None
+
+    def _adopt_columns(self, columns: TraceColumns) -> None:
+        """Install ``columns`` as the cache for the current request list."""
+        if len(columns) != len(self.requests):
+            raise ValueError("columns length does not match requests")
+        self._columns = columns
+        self._columns_token = (id(self.requests), len(self.requests))
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        columns: TraceColumns,
+        metadata: Optional[Dict[str, str]] = None,
+        requests: Optional[List[Request]] = None,
+    ) -> "Trace":
+        """Build a trace directly from a columnar view.
+
+        ``columns`` must already be in arrival order (the generator's
+        cumulative-sum arrivals are).  When the caller has also
+        materialized the matching ``Request`` list (the generator does,
+        for the simulator), pass it via ``requests`` to skip a second
+        conversion; otherwise it is derived from the columns.
+        """
+        arrivals = columns.arrival_us
+        if arrivals.size > 1 and bool(np.any(np.diff(arrivals) < 0)):
+            raise ValueError("from_columns requires arrival-ordered columns")
+        trace = cls(
+            name=name,
+            requests=columns.to_requests() if requests is None else requests,
+            metadata=metadata if metadata is not None else {},
+        )
+        trace._adopt_columns(columns)
+        return trace
+
+    # -- pickling (drop the columnar cache; workers rebuild it lazily) --------
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_columns"] = None
+        state["_columns_token"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
 
     # -- container protocol ---------------------------------------------------
 
@@ -57,17 +162,25 @@ class Trace:
     @property
     def total_bytes(self) -> int:
         """Total size of data accessed (the paper's *Data Size*)."""
-        return sum(r.size for r in self.requests)
+        if not self.requests:
+            return 0
+        return int(self.columns().size.sum())
 
     @property
     def written_bytes(self) -> int:
         """Total bytes written."""
-        return sum(r.size for r in self.writes)
+        if not self.requests:
+            return 0
+        columns = self.columns()
+        return int(columns.size[columns.write_mask].sum())
 
     @property
     def read_bytes(self) -> int:
         """Total bytes read."""
-        return sum(r.size for r in self.reads)
+        if not self.requests:
+            return 0
+        columns = self.columns()
+        return int(columns.size[columns.read_mask].sum())
 
     @property
     def start_us(self) -> float:
@@ -81,9 +194,12 @@ class Trace:
         """Last known event time (finish if replayed, else last arrival)."""
         if not self.requests:
             return 0.0
-        last_arrival = self.requests[-1].arrival_us
-        finishes = [r.finish_us for r in self.requests if r.finish_us is not None]
-        return max([last_arrival] + finishes)
+        columns = self.columns()
+        last_arrival = float(columns.arrival_us[-1])
+        completed_mask = columns.completed_mask
+        if not completed_mask.any():
+            return last_arrival
+        return max(last_arrival, float(columns.complete_us[completed_mask].max()))
 
     @property
     def duration_us(self) -> float:
@@ -98,7 +214,9 @@ class Trace:
     @property
     def completed(self) -> bool:
         """True when every request carries device timestamps."""
-        return all(r.completed for r in self.requests)
+        if not self.requests:
+            return True
+        return bool((self.columns().flags & FLAG_HAS_FINISH).all())
 
     def arrival_rate(self) -> float:
         """Requests per second over the recording duration (Table IV)."""
@@ -114,8 +232,7 @@ class Trace:
 
     def inter_arrival_us(self) -> List[float]:
         """Successive arrival-time gaps, one per request after the first."""
-        arrivals = [r.arrival_us for r in self.requests]
-        return [b - a for a, b in zip(arrivals, arrivals[1:])]
+        return self.columns().inter_arrival_us.tolist()
 
     # -- transformations -------------------------------------------------------
 
@@ -136,7 +253,25 @@ class Trace:
         return self.filter(lambda r: start_us <= r.arrival_us < end_us)
 
     def without_timing(self) -> "Trace":
-        """Strip device timestamps (e.g. before replaying on another device)."""
+        """Strip device timestamps (e.g. before replaying on another device).
+
+        Fast path: when the columnar cache is already built and shows no
+        request carries timestamps (``flags`` all zero -- true for every
+        freshly generated trace), there is nothing to strip; the copy
+        shares the frozen ``Request`` objects and adopts the same columns
+        instead of rebuilding both.
+        """
+        columns = self._columns
+        if (
+            columns is not None
+            and self._columns_token == (id(self.requests), len(self.requests))
+            and not columns.flags.any()
+        ):
+            clone = Trace(
+                name=self.name, requests=self.requests, metadata=dict(self.metadata)
+            )
+            clone._adopt_columns(columns)
+            return clone
         return Trace(
             name=self.name,
             requests=[r.without_timing() for r in self.requests],

@@ -23,7 +23,17 @@ import dataclasses
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.trace import Op, Request, SECTOR, Trace
+import numpy as np
+
+from repro.trace import (
+    FLAG_HAS_FINISH,
+    FLAG_HAS_SERVICE,
+    Op,
+    Request,
+    SECTOR,
+    Trace,
+    TraceColumns,
+)
 from repro.emmc.configs import four_ps
 from repro.emmc.device import DeviceConfig, EmmcDevice
 from repro.emmc.stats import DeviceStats
@@ -115,6 +125,17 @@ def _collect(
     address_sampler = address_model.sampler(rng)
     gaps = arrival_model.sample_gaps(count - 1, rng) if count > 1 else []
 
+    # Closed-loop pacing makes this loop inherently sequential (each
+    # arrival depends on the previous completion), but like the open-loop
+    # generator it fills the columnar arrays as it goes so the collected
+    # trace -- the input of the Table IV / Fig. 5-7 analysis kernels --
+    # carries its struct-of-arrays view from birth.
+    arrival_column = np.empty(count, dtype=np.float64)
+    service_column = np.empty(count, dtype=np.float64)
+    complete_column = np.empty(count, dtype=np.float64)
+    lba_column = np.empty(count, dtype=np.int64)
+    size_column = np.empty(count, dtype=np.int64)
+    op_column = np.empty(count, dtype=np.uint8)
     completed: List[Request] = []
     previous_op: Optional[Op] = None
     previous_arrival = 0.0
@@ -136,12 +157,27 @@ def _collect(
             arrival = max(scheduled, previous_finish) if synchronous else scheduled
         request = device.submit(Request(arrival_us=arrival, lba=lba, size=size, op=op))
         completed.append(request)
+        arrival_column[index] = request.arrival_us
+        service_column[index] = request.service_start_us
+        complete_column[index] = request.finish_us
+        lba_column[index] = request.lba
+        size_column[index] = request.size
+        op_column[index] = request.op is Op.WRITE
         previous_op = op
         previous_arrival = request.arrival_us
         previous_finish = request.finish_us
-    trace = Trace(
-        name=app.name,
-        requests=completed,
+    columns = TraceColumns(
+        arrival_column,
+        service_column,
+        complete_column,
+        lba_column,
+        size_column,
+        op_column,
+        np.full(count, FLAG_HAS_SERVICE | FLAG_HAS_FINISH, dtype=np.uint8),
+    )
+    trace = Trace.from_columns(
+        app.name,
+        columns,
         metadata={
             "generator": "repro.workloads.collection",
             "seed": str(seed),
@@ -149,5 +185,6 @@ def _collect(
             "collection_device": device.config.name,
             "sync_fraction": f"{sync_frac:.3f}",
         },
+        requests=completed,
     )
     return CollectionResult(trace=trace, device_stats=device.stats)

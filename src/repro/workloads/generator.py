@@ -22,7 +22,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.analysis.locality import temporal_locality
-from repro.trace import Op, Request, SECTOR, Trace
+from repro.trace import Op, Request, SECTOR, Trace, TraceColumns
 
 from .addresses import AccessMode, AddressModel
 from .profiles import AppProfile, all_profiles, profile
@@ -94,32 +94,77 @@ def _generate(
     address_sampler = address_model.sampler(rng)
 
     arrivals = arrival_model.sample_arrivals(count, rng)
+    # Synthesize straight into the columnar layout: the per-request loop
+    # below keeps the exact RNG draw sequence of the original Request-list
+    # construction (the draws are data-dependent and interleave one shared
+    # stream, so they cannot be batched without changing every released
+    # trace), but it fills preallocated columns as it goes, so the result
+    # carries its struct-of-arrays view from birth and the downstream
+    # analysis kernels never pay the Request-unpacking pass.
+    lba_column = np.empty(count, dtype=np.int64)
+    size_column = np.empty(count, dtype=np.int64)
+    op_column = np.empty(count, dtype=np.uint8)
     requests: List[Request] = []
+    append_request = requests.append
+    random_draw = rng.random
+    spatial_edge = address_model.spatial
+    rehit_edge = spatial_edge + address_model.temporal
+    write_frac = app.write_frac
+    op_read, op_write = Op.READ, Op.WRITE
+    sequential, temporal, fresh = (
+        AccessMode.SEQUENTIAL,
+        AccessMode.TEMPORAL,
+        AccessMode.FRESH,
+    )
     previous_op: Optional[Op] = None
-    for arrival_us in arrivals:
-        mode = address_model.choose_mode(rng)
-        if mode is AccessMode.SEQUENTIAL and previous_op is not None:
+    for index in range(count):
+        # Inlined AddressModel.choose_mode: one uniform draw against the
+        # cumulative locality edges (identical stream position and result).
+        draw = random_draw()
+        if draw < spatial_edge:
+            mode = sequential
+        elif draw < rehit_edge:
+            mode = temporal
+        else:
+            mode = fresh
+        if mode is sequential and previous_op is not None:
             # A sequential continuation keeps the predecessor's access type
             # (a sequential stream is one logical transfer); the stationary
             # write fraction still equals the Bernoulli target.
             op = previous_op
         else:
-            op = Op.WRITE if rng.random() < app.write_frac else Op.READ
-        size_model = write_sizes if op is Op.WRITE else read_sizes
+            op = op_write if random_draw() < write_frac else op_read
+        size_model = write_sizes if op is op_write else read_sizes
         size = int(size_model.sample(rng)) * SECTOR
         lba = address_sampler.next_address(mode, size)
-        requests.append(Request(arrival_us=float(arrival_us), lba=lba, size=size, op=op))
+        lba_column[index] = lba
+        size_column[index] = size
+        op_column[index] = op is op_write
+        append_request(
+            Request(arrival_us=float(arrivals[index]), lba=lba, size=size, op=op)
+        )
         previous_op = op
 
-    return Trace(
-        name=app.name,
-        requests=requests,
+    never_replayed = np.full(count, np.nan, dtype=np.float64)
+    columns = TraceColumns(
+        arrivals,
+        never_replayed,
+        never_replayed.copy(),
+        lba_column,
+        size_column,
+        op_column,
+        np.zeros(count, dtype=np.uint8),
+    )
+    return Trace.from_columns(
+        app.name,
+        columns,
         metadata={
             "generator": "repro.workloads",
             "seed": str(seed),
             "profile": app.name,
             "requests": str(count),
         },
+        requests=requests,
     )
 
 

@@ -18,6 +18,7 @@ the target.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -86,8 +87,36 @@ class SizeModel:
         """Largest emittable request size, in pages."""
         return max(high for _, high in self.ranges)
 
+    @cached_property
+    def _bucket_cdf(self) -> np.ndarray:
+        """Normalized cumulative bucket masses (cached once per model).
+
+        ``Generator.choice(n, p=p)`` internally draws **one** uniform
+        double and does ``searchsorted(cumsum(p) / cumsum(p)[-1], u,
+        side="right")``; precomputing the CDF and issuing the same single
+        ``rng.random()`` draw reproduces both the sampled bucket *and* the
+        RNG stream position bit-for-bit while skipping ``choice``'s
+        per-call validation/cumsum overhead (the synthesis hot path).
+        """
+        cdf = np.asarray(self.fractions, dtype=np.float64).cumsum()
+        cdf /= cdf[-1]
+        return cdf
+
     def sample(self, rng: np.random.Generator) -> int:
-        """Draw one request size, in pages."""
+        """Draw one request size, in pages.
+
+        Stream-compatible with the original ``rng.choice``-based
+        implementation (:meth:`_reference_sample`): identical draws,
+        identical values.
+        """
+        bucket = int(self._bucket_cdf.searchsorted(rng.random(), side="right"))
+        low, high = self.ranges[bucket]
+        if high <= low or rng.random() >= self.spread:
+            return low
+        return int(rng.integers(low + 1, high + 1))
+
+    def _reference_sample(self, rng: np.random.Generator) -> int:
+        """Original ``rng.choice``-based draw (test oracle for :meth:`sample`)."""
         bucket = int(rng.choice(len(self.fractions), p=list(self.fractions)))
         low, high = self.ranges[bucket]
         if high <= low or rng.random() >= self.spread:

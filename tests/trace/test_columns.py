@@ -1,0 +1,239 @@
+"""Tests for the columnar struct-of-arrays layer (repro.trace.columns)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    FLAG_HAS_FINISH,
+    FLAG_HAS_SERVICE,
+    OP_READ,
+    OP_WRITE,
+    Op,
+    Request,
+    SECTOR,
+    Trace,
+    TraceColumns,
+    sequential_sum,
+)
+
+
+def _mixed_requests():
+    """A small hand-built list mixing replayed and never-replayed records."""
+    return [
+        Request(arrival_us=0.0, lba=0, size=SECTOR, op=Op.READ),
+        Request(
+            arrival_us=10.0,
+            lba=SECTOR,
+            size=2 * SECTOR,
+            op=Op.WRITE,
+            service_start_us=12.0,
+            finish_us=20.0,
+        ),
+        Request(
+            arrival_us=15.0,
+            lba=8 * SECTOR,
+            size=SECTOR,
+            op=Op.WRITE,
+            service_start_us=20.0,
+            finish_us=31.5,
+        ),
+        Request(arrival_us=40.0, lba=3 * SECTOR, size=4 * SECTOR, op=Op.READ),
+    ]
+
+
+# -- sequential_sum -----------------------------------------------------------
+
+
+def test_sequential_sum_matches_builtin_sum_bitwise():
+    rng = np.random.default_rng(7)
+    for n in (1, 2, 3, 10, 1000, 4097):
+        values = rng.standard_normal(n) * 10.0 ** rng.integers(-6, 7, n)
+        assert sequential_sum(values) == sum(values.tolist())
+
+
+def test_sequential_sum_empty_is_zero():
+    assert sequential_sum(np.empty(0)) == 0.0
+
+
+# -- construction / schema ----------------------------------------------------
+
+
+def test_from_requests_schema_and_flags():
+    columns = TraceColumns.from_requests(_mixed_requests())
+    assert len(columns) == 4
+    assert columns.arrival_us.dtype == np.float64
+    assert columns.service_start_us.dtype == np.float64
+    assert columns.complete_us.dtype == np.float64
+    assert columns.lba.dtype == np.int64
+    assert columns.size.dtype == np.int64
+    assert columns.op.dtype == np.uint8
+    assert columns.flags.dtype == np.uint8
+    # NaN where never replayed; flags mark the replayed rows.
+    assert np.isnan(columns.service_start_us[0]) and np.isnan(columns.complete_us[0])
+    assert columns.service_start_us[1] == 12.0 and columns.complete_us[2] == 31.5
+    expected_flags = FLAG_HAS_SERVICE | FLAG_HAS_FINISH
+    assert list(columns.flags) == [0, expected_flags, expected_flags, 0]
+    assert list(columns.op) == [OP_READ, OP_WRITE, OP_WRITE, OP_READ]
+
+
+def test_roundtrip_to_requests():
+    requests = _mixed_requests()
+    assert TraceColumns.from_requests(requests).to_requests() == requests
+
+
+def test_empty_columns():
+    columns = TraceColumns.empty()
+    assert len(columns) == 0
+    assert columns.inter_arrival_us.size == 0
+    assert columns.completed_mask.size == 0
+    assert TraceColumns.from_requests([]).to_requests() == []
+
+
+def test_length_mismatch_rejected():
+    good = TraceColumns.from_requests(_mixed_requests())
+    with pytest.raises(ValueError):
+        TraceColumns(
+            good.arrival_us,
+            good.service_start_us[:2],
+            good.complete_us,
+            good.lba,
+            good.size,
+            good.op,
+            good.flags,
+        )
+
+
+# -- masks and derived columns ------------------------------------------------
+
+
+def test_masks_and_caching():
+    columns = TraceColumns.from_requests(_mixed_requests())
+    assert list(columns.read_mask) == [True, False, False, True]
+    assert list(columns.write_mask) == [False, True, True, False]
+    assert list(columns.completed_mask) == [False, True, True, False]
+    # Cached: repeated access returns the identical array object.
+    assert columns.read_mask is columns.read_mask
+    assert columns.completed_mask is columns.completed_mask
+
+
+def test_derived_columns():
+    columns = TraceColumns.from_requests(_mixed_requests())
+    assert list(columns.end_lba) == [SECTOR, 3 * SECTOR, 9 * SECTOR, 7 * SECTOR]
+    assert columns.inter_arrival_us.tolist() == [10.0, 5.0, 25.0]
+    assert columns.wait_us[1] == 2.0
+    assert columns.service_us[2] == 11.5
+    assert columns.response_us[1] == 10.0
+    assert np.isnan(columns.wait_us[0]) and np.isnan(columns.response_us[3])
+
+
+def test_select_slice_is_view_mask_is_copy():
+    columns = TraceColumns.from_requests(_mixed_requests())
+    sliced = columns.select(slice(1, 3))
+    assert len(sliced) == 2
+    assert sliced.arrival_us.base is columns.arrival_us  # zero-copy view
+    masked = columns.select(columns.write_mask)
+    assert len(masked) == 2
+    assert masked.arrival_us.base is None  # NumPy fancy indexing copies
+    assert masked.lba.tolist() == [SECTOR, 8 * SECTOR]
+
+
+def test_columns_pickle_roundtrip():
+    columns = TraceColumns.from_requests(_mixed_requests())
+    restored = pickle.loads(pickle.dumps(columns))
+    assert restored.to_requests() == columns.to_requests()
+    np.testing.assert_array_equal(restored.flags, columns.flags)
+
+
+# -- Trace integration: cache, invalidation, adoption -------------------------
+
+
+def test_trace_columns_cached_until_rebound():
+    trace = Trace(name="t", requests=_mixed_requests())
+    first = trace.columns()
+    assert trace.columns() is first  # cached
+    trace.requests = list(trace.requests)  # rebinding invalidates (new id)
+    assert trace.columns() is not first
+
+
+def test_trace_columns_invalidated_on_length_change():
+    trace = Trace(name="t", requests=_mixed_requests())
+    first = trace.columns()
+    trace.requests.append(
+        Request(arrival_us=50.0, lba=0, size=SECTOR, op=Op.READ)
+    )
+    rebuilt = trace.columns()
+    assert rebuilt is not first
+    assert len(rebuilt) == 5
+
+
+def test_trace_invalidate_columns_explicit():
+    trace = Trace(name="t", requests=_mixed_requests())
+    first = trace.columns()
+    # Same-length in-place element assignment is invisible to the token --
+    # the documented contract requires an explicit invalidation.
+    trace.requests[0] = Request(arrival_us=1.0, lba=0, size=SECTOR, op=Op.WRITE)
+    assert trace.columns() is first
+    trace.invalidate_columns()
+    rebuilt = trace.columns()
+    assert rebuilt is not first
+    assert rebuilt.op[0] == OP_WRITE
+
+
+def test_trace_pickle_drops_columns_cache():
+    trace = Trace(name="t", requests=_mixed_requests())
+    cached = trace.columns()
+    restored = pickle.loads(pickle.dumps(trace))
+    assert restored._columns is None  # lean wire format; rebuilt lazily
+    np.testing.assert_array_equal(restored.columns().lba, cached.lba)
+
+
+def test_from_columns_adopts_cache_and_validates_order():
+    columns = TraceColumns.from_requests(_mixed_requests())
+    trace = Trace.from_columns("t", columns)
+    assert trace.columns() is columns  # adopted, not rebuilt
+    assert trace.requests == _mixed_requests()
+    shuffled = columns.select(np.array([2, 0, 1, 3]))
+    with pytest.raises(ValueError, match="arrival-ordered"):
+        Trace.from_columns("bad", shuffled)
+
+
+def test_without_timing_fast_path_shares_columns():
+    plain = [r.without_timing() for r in _mixed_requests()]
+    columns = TraceColumns.from_requests(plain)
+    trace = Trace.from_columns("t", columns, requests=plain)
+    stripped = trace.without_timing()
+    assert stripped.columns() is columns  # zero-copy: nothing to strip
+    assert stripped.requests == plain
+    # Slow path: a trace with device timestamps really strips them.
+    replayed = Trace(name="r", requests=_mixed_requests())
+    replayed.columns()
+    stripped = replayed.without_timing()
+    assert all(r.finish_us is None for r in stripped)
+    assert not stripped.columns().flags.any()
+
+
+# -- constructor sort behaviour (the O(n log n) skip) -------------------------
+
+
+def test_constructor_preserves_already_sorted_input():
+    requests = _mixed_requests()
+    trace = Trace(name="t", requests=requests)
+    assert trace.requests == requests
+    assert trace.requests is not requests  # defensive copy either way
+
+
+def test_constructor_sorts_unsorted_input():
+    requests = _mixed_requests()
+    shuffled = [requests[2], requests[0], requests[3], requests[1]]
+    trace = Trace(name="t", requests=shuffled)
+    assert trace.requests == sorted(shuffled, key=lambda r: r.arrival_us)
+    assert [r.arrival_us for r in trace.requests] == [0.0, 10.0, 15.0, 40.0]
+
+
+def test_constructor_keeps_equal_arrivals_stable():
+    a = Request(arrival_us=5.0, lba=0, size=SECTOR, op=Op.READ)
+    b = Request(arrival_us=5.0, lba=SECTOR, size=SECTOR, op=Op.WRITE)
+    trace = Trace(name="t", requests=[a, b])
+    assert trace.requests[0] is a and trace.requests[1] is b

@@ -1,0 +1,98 @@
+"""Digest every experiment's output for bit-identity parity checks.
+
+Runs the full registry serially (no cache) and emits, per experiment,
+SHA-256 digests of
+
+* the rendered report text (what ``repro-experiments`` prints),
+* the canonical JSON of the structured ``data`` payload, and
+* the quick-mode (``num_requests=1500``) JSON payload,
+
+i.e. 3 digests x 19 experiments = 57 digests.  Run it before and after a
+perf change under ``PYTHONHASHSEED=0`` and diff the JSON outputs::
+
+    PYTHONHASHSEED=0 PYTHONPATH=src python tools/experiment_digests.py --out before.json
+    ... change ...
+    PYTHONHASHSEED=0 PYTHONPATH=src python tools/experiment_digests.py --out after.json
+    python tools/experiment_digests.py --compare before.json after.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def compute_digests(quick_only: bool = False) -> dict:
+    from repro.experiments import parallel
+    from repro.experiments.cache import NullCache
+    from repro.experiments.runner import _jsonable
+
+    digests = {}
+    modes = [("quick", 1500)] if quick_only else [("full", None), ("quick", 1500)]
+    for mode, num_requests in modes:
+        summary = parallel.execute(
+            ids=None, num_requests=num_requests, jobs=1, cache=NullCache()
+        )
+        for result in summary.results:
+            entry = digests.setdefault(result.experiment_id, {})
+            if mode == "full":
+                entry["render"] = _sha256(result.render())
+            entry[f"{mode}_data"] = _sha256(
+                json.dumps(_jsonable(result.data), sort_keys=True)
+            )
+        print(f"[{mode}: {len(summary.results)} experiments digested]", file=sys.stderr)
+    return digests
+
+
+def compare(before_path: str, after_path: str) -> int:
+    with open(before_path) as handle:
+        before = json.load(handle)
+    with open(after_path) as handle:
+        after = json.load(handle)
+    mismatches = []
+    for experiment_id in sorted(set(before) | set(after)):
+        a, b = before.get(experiment_id, {}), after.get(experiment_id, {})
+        for key in sorted(set(a) | set(b)):
+            if a.get(key) != b.get(key):
+                mismatches.append(f"{experiment_id}.{key}: {a.get(key)} != {b.get(key)}")
+    total = sum(len(v) for v in after.values())
+    if mismatches:
+        print(f"MISMATCH ({len(mismatches)} of {total} digests):")
+        for line in mismatches:
+            print(f"  {line}")
+        return 1
+    print(f"OK: all {total} digests bit-identical")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", help="write digests to this JSON file")
+    parser.add_argument("--quick-only", action="store_true")
+    parser.add_argument(
+        "--compare", nargs=2, metavar=("BEFORE", "AFTER"), help="diff two digest files"
+    )
+    args = parser.parse_args(argv)
+    if args.compare:
+        return compare(*args.compare)
+    started = time.time()
+    digests = compute_digests(quick_only=args.quick_only)
+    payload = json.dumps(digests, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+    else:
+        print(payload)
+    print(f"[digested in {time.time() - started:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
