@@ -1,7 +1,7 @@
 """repro: reproduction of "I/O Characteristics of Smartphone Applications
 and Their Implications for eMMC Design" (IISWC 2015).
 
-The package has six subsystems (see DESIGN.md):
+The package has eight subsystems (see DESIGN.md):
 
 * :mod:`repro.trace` -- block-level I/O trace model and serialization;
 * :mod:`repro.sim` -- the shared discrete-event kernel (clock, event
@@ -10,7 +10,9 @@ The package has six subsystems (see DESIGN.md):
 * :mod:`repro.android` -- a simulated Android I/O stack with BIOtracer;
 * :mod:`repro.emmc` -- the event-driven eMMC simulator with the HPS scheme;
 * :mod:`repro.analysis` / :mod:`repro.experiments` -- characterization and
-  the per-table/figure reproduction harness.
+  the per-table/figure reproduction harness;
+* :mod:`repro.store` / :mod:`repro.streaming` -- chunked on-disk columnar
+  trace store and out-of-core, mergeable streaming analytics.
 
 Quickstart::
 

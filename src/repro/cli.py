@@ -22,6 +22,21 @@ Subcommands::
     repro-trace stats trace.csv
         Print the Table III / Table IV style statistics of a trace file.
 
+    repro-trace store pack trace.csv -o store-dir [--chunk-rows N]
+    repro-trace store pack --app Twitter -o store-dir [--requests N]
+    repro-trace store pack --blkparse blkparse.txt -o store-dir
+        Pack a trace into a chunked columnar store directory.
+
+    repro-trace store info store-dir [--verify]
+        Show the store's manifest (schema, chunk index, checksums).
+
+    repro-trace store cat store-dir -o trace.csv
+        Stream a store back out as trace CSV, chunk by chunk.
+
+    repro-trace store stats store-dir
+        The ``stats`` table, computed out-of-core with the streaming
+        summaries (one memory-mapped chunk resident at a time).
+
     repro-trace experiments [IDS ...] [--quick] [--jobs N] [--no-cache]
                             [--cache-dir DIR] ...
         Run the paper's experiments (same engine and flags as the
@@ -103,10 +118,8 @@ def _cmd_convert(args) -> int:
     return 0
 
 
-def _cmd_stats(args) -> int:
-    trace = read_trace(args.trace)
-    sizes = size_stats(trace)
-    timing = timing_stats(trace)
+def _stats_table(name: str, sizes, timing, completed: bool) -> str:
+    """The ``stats`` report (shared by the CSV and store paths)."""
     rows = [
         ["Requests", f"{sizes.num_requests:,}"],
         ["Data size (KiB)", f"{sizes.data_size_kib:,.0f}"],
@@ -119,13 +132,116 @@ def _cmd_stats(args) -> int:
         ["Spatial / temporal locality %",
          f"{timing.spatial_locality_pct:.1f} / {timing.temporal_locality_pct:.1f}"],
     ]
-    if trace.completed:
+    if completed:
         rows += [
             ["No-wait %", f"{timing.nowait_pct:.1f}"],
             ["Mean service / response (ms)",
              f"{timing.mean_service_ms:.2f} / {timing.mean_response_ms:.2f}"],
         ]
-    print(render_table(["Metric", "Value"], rows, title=f"Trace {trace.name!r}"))
+    return render_table(["Metric", "Value"], rows, title=f"Trace {name!r}")
+
+
+def _cmd_stats(args) -> int:
+    trace = read_trace(args.trace)
+    print(_stats_table(trace.name, size_stats(trace), timing_stats(trace), trace.completed))
+    return 0
+
+
+def _cmd_store_pack(args) -> int:
+    from repro.store import StoreWriter, pack
+
+    sources = [bool(args.input), bool(args.app), bool(args.blkparse)]
+    if sum(sources) != 1:
+        print("store pack: give exactly one of INPUT.csv, --app or --blkparse",
+              file=sys.stderr)
+        return 2
+    if args.app:
+        trace = generate_trace(args.app, seed=args.seed, num_requests=args.requests)
+        manifest = pack(trace, args.output, chunk_rows=args.chunk_rows,
+                        overwrite=args.force)
+    elif args.blkparse:
+        from pathlib import Path
+
+        from repro.trace import iter_requests
+
+        writer = StoreWriter(
+            args.output,
+            name=Path(args.blkparse).stem,
+            metadata={"source": "blkparse"},
+            chunk_rows=args.chunk_rows,
+            overwrite=args.force,
+        )
+        for batch in iter_requests(args.blkparse):
+            writer.append_requests(batch)
+        manifest = writer.close()
+    else:
+        trace = read_trace(args.input)
+        manifest = pack(trace, args.output, chunk_rows=args.chunk_rows,
+                        overwrite=args.force)
+    print(
+        f"packed {manifest.total_rows:,} requests into {len(manifest.chunks)} "
+        f"chunk(s) ({manifest.total_nbytes:,} bytes) at {args.output}"
+    )
+    return 0
+
+
+def _cmd_store_info(args) -> int:
+    from repro.store import open_store
+
+    store = open_store(args.store)
+    if args.verify:
+        store.verify()
+    meta = store.metadata
+    rows = [
+        ["Name", store.name],
+        ["Requests", f"{len(store):,}"],
+        ["Chunks", f"{store.num_chunks}"],
+        ["Bytes", f"{store.manifest.total_nbytes:,}"],
+        ["Arrival sorted", "yes" if store.arrival_sorted else "no"],
+        ["Verified", "ok" if args.verify else "not checked"],
+    ]
+    for key in sorted(meta):
+        rows.append([f"meta:{key}", meta[key]])
+    print(render_table(["Field", "Value"], rows, title=f"Store {str(args.store)!r}"))
+    if args.chunks:
+        chunk_rows = [
+            [i, info.file, f"{info.rows:,}", f"{info.min_arrival_us:,.0f}",
+             f"{info.max_arrival_us:,.0f}", info.sha256[:12]]
+            for i, info in enumerate(store.chunk_infos)
+        ]
+        print(render_table(
+            ["#", "File", "Rows", "Min arrival us", "Max arrival us", "SHA-256"],
+            chunk_rows,
+        ))
+    return 0
+
+
+def _cmd_store_cat(args) -> int:
+    from repro.store import open_store
+    from repro.trace.io import format_header, format_rows
+
+    store = open_store(args.store)
+    written = 0
+    with open(args.output, "w", newline="") as handle:
+        handle.write(format_header(store.name, store.metadata))
+        for chunk in store.iter_chunks():
+            handle.write(format_rows(chunk))
+            written += len(chunk)
+    print(f"wrote {written:,} requests to {args.output}")
+    return 0
+
+
+def _cmd_store_stats(args) -> int:
+    from repro.store import open_store
+    from repro.streaming import StreamingTraceSummary
+
+    store = open_store(args.store)
+    summary = StreamingTraceSummary(collapse=True)
+    for chunk in store.iter_chunks(chunk_rows=args.chunk_rows):
+        summary.update(chunk)
+    completed = summary.timing.completed
+    result = summary.finalize(store.name)
+    print(_stats_table(store.name, result.size, result.timing, completed))
     return 0
 
 
@@ -172,6 +288,45 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="print statistics of a trace CSV")
     stats.add_argument("trace")
     stats.set_defaults(fn=_cmd_stats)
+
+    store = sub.add_parser("store", help="chunked columnar trace stores")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    pack_cmd = store_sub.add_parser("pack", help="pack a trace into a store")
+    pack_cmd.add_argument("input", nargs="?", default=None,
+                          help="trace CSV to pack (or use --app/--blkparse)")
+    pack_cmd.add_argument("--app", choices=ALL_TRACES, metavar="APP", default=None,
+                          help="synthesize APP and pack it directly")
+    pack_cmd.add_argument("--blkparse", default=None, metavar="FILE",
+                          help="stream-convert blkparse text into the store")
+    pack_cmd.add_argument("-o", "--output", required=True, help="store directory")
+    pack_cmd.add_argument("--chunk-rows", type=int, default=65536)
+    pack_cmd.add_argument("--requests", type=int, default=None)
+    pack_cmd.add_argument("--seed", type=int, default=20150614)
+    pack_cmd.add_argument("-f", "--force", action="store_true",
+                          help="replace an existing store at the destination")
+    pack_cmd.set_defaults(fn=_cmd_store_pack)
+
+    info_cmd = store_sub.add_parser("info", help="show a store's manifest")
+    info_cmd.add_argument("store")
+    info_cmd.add_argument("--verify", action="store_true",
+                          help="re-hash every chunk against the manifest")
+    info_cmd.add_argument("--chunks", action="store_true",
+                          help="also list the per-chunk index")
+    info_cmd.set_defaults(fn=_cmd_store_info)
+
+    cat_cmd = store_sub.add_parser("cat", help="stream a store out as trace CSV")
+    cat_cmd.add_argument("store")
+    cat_cmd.add_argument("-o", "--output", required=True)
+    cat_cmd.set_defaults(fn=_cmd_store_cat)
+
+    sstats_cmd = store_sub.add_parser(
+        "stats", help="out-of-core statistics via the streaming summaries"
+    )
+    sstats_cmd.add_argument("store")
+    sstats_cmd.add_argument("--chunk-rows", type=int, default=None,
+                            help="re-chunk the stream (default: stored chunks)")
+    sstats_cmd.set_defaults(fn=_cmd_store_stats)
 
     experiments = sub.add_parser(
         "experiments",

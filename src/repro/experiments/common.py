@@ -117,6 +117,41 @@ if hasattr(os, "register_at_fork"):  # pragma: no branch
     os.register_at_fork(after_in_child=clear_experiment_caches)
 
 
+#: Environment variable naming a directory of packed trace stores.  When
+#: set, :func:`cached_trace` sources traces from matching store
+#: subdirectories instead of re-synthesizing them.  Off by default so the
+#: experiment pipeline's provenance stays purely generative.
+TRACE_STORE_ENV = "REPRO_TRACE_STORE"
+
+
+def trace_store_key(name: str, seed: int, num_requests: Optional[int]) -> str:
+    """Store subdirectory name for one (name, seed, size) trace identity."""
+    safe = name.replace("/", "+")
+    suffix = "full" if num_requests is None else str(num_requests)
+    return f"{safe}-s{seed}-n{suffix}"
+
+
+def _trace_from_store(
+    name: str, seed: int, num_requests: Optional[int]
+) -> Optional[Trace]:
+    """Load the trace from ``$REPRO_TRACE_STORE`` if a matching store exists.
+
+    Returns ``None`` (fall back to synthesis) when the variable is unset,
+    the subdirectory is absent, or it holds no readable manifest.  A
+    present-but-corrupt manifest raises rather than silently
+    regenerating different data.
+    """
+    root = os.environ.get(TRACE_STORE_ENV)
+    if not root:
+        return None
+    from repro.store import MANIFEST_NAME, open_store
+
+    path = os.path.join(root, trace_store_key(name, seed, num_requests))
+    if not os.path.exists(os.path.join(path, MANIFEST_NAME)):
+        return None
+    return open_store(path).to_trace()
+
+
 def cached_trace(
     name: str, seed: int = DEFAULT_SEED, num_requests: Optional[int] = None
 ) -> Trace:
@@ -126,11 +161,20 @@ def cached_trace(
     derives its RNG streams from a hash of name+seed), so the memo is safe
     to consult from any experiment -- and, because the cache is
     process-local, from any pool worker.
+
+    When :data:`TRACE_STORE_ENV` points at a directory of packed stores
+    (see ``repro-trace store pack``), a store named
+    :func:`trace_store_key` is used instead of re-synthesizing; packed
+    stores round-trip traces exactly, so results are unchanged either way.
     """
-    return _TRACE_CACHE.get_or_compute(
-        (name, seed, num_requests),
-        lambda: generate_trace(name, seed=seed, num_requests=num_requests),
-    )
+
+    def compute() -> Trace:
+        stored = _trace_from_store(name, seed, num_requests)
+        if stored is not None:
+            return stored
+        return generate_trace(name, seed=seed, num_requests=num_requests)
+
+    return _TRACE_CACHE.get_or_compute((name, seed, num_requests), compute)
 
 
 def cached_collection(

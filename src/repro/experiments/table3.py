@@ -1,37 +1,71 @@
-"""Table III: size-related characteristics of the 25 traces."""
+"""Table III: size-related characteristics of the 25 traces.
+
+The experiment shards into one unit per trace.  Each worker folds its
+trace's columns chunk by chunk through
+:class:`~repro.streaming.StreamingSizeStats` -- the mergeable streaming
+counterpart of :func:`~repro.analysis.size_stats` -- and ships the
+summary (a handful of integers) back instead of the trace.  ``merge``
+finalizes the summaries in paper order; because the streaming fold is
+bit-identical to the batch kernel, sharded output matches the serial
+path byte for byte.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
-from repro.analysis import render_table, size_stats
-from repro.workloads import DEFAULT_SEED, TABLE_III
+from repro.analysis import render_table
+from repro.analysis.size_stats import SizeStats
+from repro.streaming import StreamingSizeStats, chunked
+from repro.workloads import ALL_TRACES, DEFAULT_SEED, TABLE_III
 
-from .common import ExperimentResult, all_traces
-from .spec import ExperimentSpec
+from .common import ExperimentResult, cached_trace
+from .spec import ExperimentSpec, ShardPlan
+
+#: Rows folded per streaming step inside a shard worker.
+SHARD_CHUNK_ROWS = 16384
 
 
-def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> ExperimentResult:
-    """Regenerate Table III; every cell shown as measured (paper)."""
+def _row(stats: SizeStats) -> list:
+    """One rendered Table III row: measured (paper)."""
+    paper = TABLE_III[stats.name]
+    return [
+        stats.name,
+        f"{stats.data_size_kib:,.0f} ({paper.data_size_kib:,})",
+        f"{stats.num_requests:,} ({paper.num_requests:,})",
+        f"{stats.max_size_kib:,.0f} ({paper.max_size_kib:,})",
+        f"{stats.avg_size_kib:.1f} ({paper.avg_size_kib})",
+        f"{stats.avg_read_kib:.1f} ({paper.avg_read_kib})",
+        f"{stats.avg_write_kib:.1f} ({paper.avg_write_kib})",
+        f"{stats.write_req_pct:.1f} ({paper.write_req_pct})",
+        f"{stats.write_size_pct:.1f} ({paper.write_size_pct})",
+    ]
+
+
+def compute_shard(
+    unit: str, seed: int = DEFAULT_SEED, num_requests: Optional[int] = None
+) -> StreamingSizeStats:
+    """One trace's streaming size summary (integers only -- tiny payload)."""
+    trace = cached_trace(unit, seed=seed, num_requests=num_requests)
+    summary = StreamingSizeStats()
+    for chunk in chunked(trace.columns(), SHARD_CHUNK_ROWS):
+        summary.update(chunk)
+    return summary
+
+
+def merge(
+    payloads: Dict[str, object],
+    seed: int = DEFAULT_SEED,
+    num_requests: Optional[int] = None,
+) -> ExperimentResult:
+    """Finalize the per-trace summaries into Table III (paper order)."""
+    del seed, num_requests  # assembly is a pure function of the payloads
     rows = []
     measured = {}
-    for trace in all_traces(seed=seed, num_requests=num_requests):
-        stats = size_stats(trace)
-        paper = TABLE_III[trace.name]
-        measured[trace.name] = stats
-        rows.append(
-            [
-                stats.name,
-                f"{stats.data_size_kib:,.0f} ({paper.data_size_kib:,})",
-                f"{stats.num_requests:,} ({paper.num_requests:,})",
-                f"{stats.max_size_kib:,.0f} ({paper.max_size_kib:,})",
-                f"{stats.avg_size_kib:.1f} ({paper.avg_size_kib})",
-                f"{stats.avg_read_kib:.1f} ({paper.avg_read_kib})",
-                f"{stats.avg_write_kib:.1f} ({paper.avg_write_kib})",
-                f"{stats.write_req_pct:.1f} ({paper.write_req_pct})",
-                f"{stats.write_size_pct:.1f} ({paper.write_size_pct})",
-            ]
-        )
+    for name in ALL_TRACES:
+        stats = payloads[name].finalize(name)
+        measured[name] = stats
+        rows.append(_row(stats))
     table = render_table(
         [
             "App",
@@ -54,11 +88,21 @@ def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> Experim
     )
 
 
+def run(seed: int = DEFAULT_SEED, num_requests: Optional[int] = None) -> ExperimentResult:
+    """Regenerate Table III; every cell shown as measured (paper)."""
+    payloads = {
+        name: compute_shard(name, seed=seed, num_requests=num_requests)
+        for name in ALL_TRACES
+    }
+    return merge(payloads, seed=seed, num_requests=num_requests)
+
+
 SPEC = ExperimentSpec(
     experiment_id="table3",
     title="Table III size-related characteristics of the 25 traces",
     runner=run,
     cost="medium",
+    shards=ShardPlan(units=tuple(ALL_TRACES), worker=compute_shard, merge=merge),
 )
 
 

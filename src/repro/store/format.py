@@ -1,0 +1,97 @@
+"""On-disk layout constants of the chunked columnar trace store.
+
+A store is a directory::
+
+    mystore/
+        manifest.json         # schema, metadata, per-chunk index
+        chunk-000000.bin      # columnar binary, CHUNK_COLUMNS order
+        chunk-000001.bin
+        ...
+
+Each chunk file holds the seven :class:`~repro.trace.TraceColumns`
+arrays for a contiguous slice of the request stream, stored column by
+column (struct-of-arrays on disk, exactly like in memory)::
+
+    offset 0          : arrival_us       float64[rows]  little-endian
+    offset 8*rows     : service_start_us float64[rows]
+    offset 16*rows    : complete_us      float64[rows]
+    offset 24*rows    : lba              int64[rows]
+    offset 32*rows    : size             int64[rows]
+    offset 40*rows    : op               uint8[rows]
+    offset 41*rows    : flags            uint8[rows]
+
+so a reader can :func:`numpy.memmap` any single column of any chunk
+without touching the rest of the file.  Row counts per chunk, arrival
+min/max (for range pruning) and SHA-256 content checksums live in the
+manifest; the chunk files themselves carry no header.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+#: Manifest ``format`` marker and current layout version.
+STORE_FORMAT = "repro-trace-store"
+STORE_VERSION = 1
+
+#: File name of the JSON manifest inside the store directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Column order inside each chunk file (must match the write order).
+CHUNK_COLUMNS: Tuple[str, ...] = (
+    "arrival_us",
+    "service_start_us",
+    "complete_us",
+    "lba",
+    "size",
+    "op",
+    "flags",
+)
+
+#: Explicit little-endian dtype per column -- the on-disk byte contract.
+COLUMN_DTYPES: Dict[str, str] = {
+    "arrival_us": "<f8",
+    "service_start_us": "<f8",
+    "complete_us": "<f8",
+    "lba": "<i8",
+    "size": "<i8",
+    "op": "|u1",
+    "flags": "|u1",
+}
+
+#: Bytes one row occupies across all columns (3*8 + 2*8 + 2*1).
+ROW_NBYTES = sum(np.dtype(COLUMN_DTYPES[name]).itemsize for name in CHUNK_COLUMNS)
+
+#: Default rows per chunk: 64 Ki rows is ~2.1 MiB per chunk file, small
+#: enough that a re-chunking reader never concatenates much, large enough
+#: that the manifest stays tiny even for 1000x-scaled traces.
+DEFAULT_CHUNK_ROWS = 65536
+
+
+def chunk_filename(index: int) -> str:
+    """File name of the ``index``-th chunk (zero-based, zero-padded)."""
+    if index < 0:
+        raise ValueError("chunk index must be non-negative")
+    return f"chunk-{index:06d}.bin"
+
+
+def chunk_nbytes(rows: int) -> int:
+    """Size in bytes of a chunk file holding ``rows`` rows."""
+    return rows * ROW_NBYTES
+
+
+def column_offsets(rows: int) -> Dict[str, int]:
+    """Byte offset of each column inside a chunk file of ``rows`` rows."""
+    offsets: Dict[str, int] = {}
+    position = 0
+    for name in CHUNK_COLUMNS:
+        offsets[name] = position
+        position += rows * np.dtype(COLUMN_DTYPES[name]).itemsize
+    return offsets
+
+
+def schema_as_json() -> Dict[str, str]:
+    """The dtype schema exactly as serialized into the manifest."""
+    return {name: COLUMN_DTYPES[name] for name in CHUNK_COLUMNS}

@@ -1,0 +1,186 @@
+"""The JSON manifest of a chunked trace store.
+
+The manifest is the only structured file in a store directory; every
+chunk file is raw column bytes described here.  It records
+
+* identity: trace ``name`` and free-form string ``metadata`` (the same
+  pair a :class:`~repro.trace.Trace` carries, so store round-trips are
+  lossless);
+* the dtype schema (column name -> little-endian dtype string), pinned
+  at write time so readers can reject incompatible layouts;
+* one entry per chunk: file name, row count, min/max ``arrival_us``
+  (range-pruning index), byte size and SHA-256 content checksum;
+* ``arrival_sorted``: whether the concatenated stream is globally
+  non-decreasing in arrival time (always true for generated/replayed
+  traces; possibly false for raw ``blkparse`` imports, which complete
+  out of arrival order).
+
+Manifests are written atomically (temp file + ``os.replace``) and are
+deterministic -- no timestamps -- so packing the same trace twice yields
+byte-identical stores, which the test suite exploits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .format import (
+    CHUNK_COLUMNS,
+    MANIFEST_NAME,
+    STORE_FORMAT,
+    STORE_VERSION,
+    chunk_nbytes,
+    schema_as_json,
+)
+
+
+class StoreError(RuntimeError):
+    """A trace store directory is missing, malformed or corrupt."""
+
+
+@dataclass(frozen=True)
+class ChunkInfo:
+    """Index entry for one chunk file."""
+
+    file: str
+    rows: int
+    min_arrival_us: float
+    max_arrival_us: float
+    sha256: str
+    nbytes: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "rows": self.rows,
+            "min_arrival_us": self.min_arrival_us,
+            "max_arrival_us": self.max_arrival_us,
+            "sha256": self.sha256,
+            "nbytes": self.nbytes,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "ChunkInfo":
+        try:
+            return cls(
+                file=str(raw["file"]),
+                rows=int(raw["rows"]),  # type: ignore[arg-type]
+                min_arrival_us=float(raw["min_arrival_us"]),  # type: ignore[arg-type]
+                max_arrival_us=float(raw["max_arrival_us"]),  # type: ignore[arg-type]
+                sha256=str(raw["sha256"]),
+                nbytes=int(raw["nbytes"]),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise StoreError(f"malformed chunk entry in manifest: {raw!r}") from error
+
+
+@dataclass
+class StoreManifest:
+    """Everything a reader needs to interpret the chunk files."""
+
+    name: str
+    metadata: Dict[str, str] = field(default_factory=dict)
+    chunks: List[ChunkInfo] = field(default_factory=list)
+    arrival_sorted: bool = True
+
+    @property
+    def total_rows(self) -> int:
+        """Requests across every chunk."""
+        return sum(chunk.rows for chunk in self.chunks)
+
+    @property
+    def total_nbytes(self) -> int:
+        """Payload bytes across every chunk file."""
+        return sum(chunk.nbytes for chunk in self.chunks)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "format": STORE_FORMAT,
+            "version": STORE_VERSION,
+            "name": self.name,
+            "metadata": dict(self.metadata),
+            "columns": schema_as_json(),
+            "arrival_sorted": self.arrival_sorted,
+            "total_rows": self.total_rows,
+            "chunks": [chunk.as_dict() for chunk in self.chunks],
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "StoreManifest":
+        if raw.get("format") != STORE_FORMAT:
+            raise StoreError(f"not a trace store manifest: format={raw.get('format')!r}")
+        version = raw.get("version")
+        if version != STORE_VERSION:
+            raise StoreError(
+                f"unsupported store version {version!r} (reader supports {STORE_VERSION})"
+            )
+        columns = raw.get("columns")
+        if columns != schema_as_json():
+            raise StoreError(
+                f"incompatible column schema {columns!r}; expected {schema_as_json()!r}"
+            )
+        metadata_raw = raw.get("metadata") or {}
+        if not isinstance(metadata_raw, dict):
+            raise StoreError("manifest metadata must be an object")
+        manifest = cls(
+            name=str(raw.get("name", "trace")),
+            metadata={str(k): str(v) for k, v in metadata_raw.items()},
+            chunks=[ChunkInfo.from_dict(entry) for entry in raw.get("chunks", [])],  # type: ignore[union-attr]
+            arrival_sorted=bool(raw.get("arrival_sorted", True)),
+        )
+        declared = raw.get("total_rows")
+        if declared is not None and int(declared) != manifest.total_rows:  # type: ignore[arg-type]
+            raise StoreError(
+                f"manifest total_rows={declared} disagrees with chunk sum "
+                f"{manifest.total_rows}"
+            )
+        for chunk in manifest.chunks:
+            if chunk.nbytes != chunk_nbytes(chunk.rows):
+                raise StoreError(
+                    f"chunk {chunk.file}: {chunk.nbytes} bytes inconsistent with "
+                    f"{chunk.rows} rows x {len(CHUNK_COLUMNS)} columns"
+                )
+        return manifest
+
+
+def manifest_path(store_dir: Union[str, Path]) -> Path:
+    """Path of the manifest file inside ``store_dir``."""
+    return Path(store_dir) / MANIFEST_NAME
+
+
+def write_manifest(store_dir: Union[str, Path], manifest: StoreManifest) -> Path:
+    """Atomically write ``manifest`` into ``store_dir`` (temp + rename)."""
+    path = manifest_path(store_dir)
+    temp = path.with_suffix(".json.tmp")
+    temp.write_text(manifest.dumps())
+    os.replace(temp, path)
+    return path
+
+
+def read_manifest(store_dir: Union[str, Path]) -> StoreManifest:
+    """Load and validate the manifest of ``store_dir``."""
+    path = manifest_path(store_dir)
+    if not path.is_file():
+        raise StoreError(f"no trace store at {store_dir!s} (missing {MANIFEST_NAME})")
+    try:
+        raw = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise StoreError(f"corrupt manifest at {path!s}: {error}") from error
+    if not isinstance(raw, dict):
+        raise StoreError(f"corrupt manifest at {path!s}: not a JSON object")
+    manifest = StoreManifest.from_dict(raw)
+    missing: Optional[str] = None
+    for chunk in manifest.chunks:
+        if not (Path(store_dir) / chunk.file).is_file():
+            missing = chunk.file
+            break
+    if missing is not None:
+        raise StoreError(f"store at {store_dir!s} is missing chunk file {missing}")
+    return manifest

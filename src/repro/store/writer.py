@@ -1,0 +1,257 @@
+"""Streaming writer for chunked columnar trace stores.
+
+:class:`StoreWriter` accepts column batches (or ``Request`` batches) of
+any size and re-chunks them into fixed-size chunk files, so producers --
+the workload generator, the ``blkparse`` importer, a device replay loop
+-- can emit a store incrementally without ever materializing a full
+:class:`~repro.trace.Trace` in memory.  :func:`pack` is the one-shot
+convenience over it.
+
+The writer is careful about durability and determinism:
+
+* chunk files are written column-by-column in :data:`~repro.store.format.CHUNK_COLUMNS`
+  order while a SHA-256 checksum is folded over the exact bytes written;
+* the manifest is only written by :meth:`StoreWriter.close` (atomic
+  temp + rename), so a crashed pack never leaves a readable-looking
+  store behind;
+* no timestamps anywhere: packing the same trace twice produces
+  byte-identical directories.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from types import TracebackType
+from typing import Dict, Iterable, List, Optional, Sequence, Type, Union
+
+import numpy as np
+
+from repro.trace import Request, Trace, TraceColumns
+
+from .format import (
+    CHUNK_COLUMNS,
+    COLUMN_DTYPES,
+    DEFAULT_CHUNK_ROWS,
+    MANIFEST_NAME,
+    chunk_filename,
+)
+from .manifest import ChunkInfo, StoreError, StoreManifest, write_manifest
+
+
+def concat_columns(pieces: Sequence[TraceColumns]) -> TraceColumns:
+    """Concatenate column sets into one (empty input -> empty columns)."""
+    pieces = [piece for piece in pieces if len(piece)]
+    if not pieces:
+        return TraceColumns.empty()
+    if len(pieces) == 1:
+        return pieces[0]
+    return TraceColumns(
+        *(
+            np.concatenate([getattr(piece, name) for piece in pieces])
+            for name in CHUNK_COLUMNS
+        )
+    )
+
+
+class StoreWriter:
+    """Incrementally write one trace store directory.
+
+    Usage::
+
+        with StoreWriter(path, name="Twitter", metadata=meta) as writer:
+            for batch in produce_request_batches():
+                writer.append_requests(batch)
+        store = open_store(path)
+
+    ``append_*`` calls may carry any number of rows; the writer buffers
+    at most ``chunk_rows`` rows (one chunk) before flushing to disk.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        name: str = "trace",
+        metadata: Optional[Dict[str, str]] = None,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        overwrite: bool = False,
+    ) -> None:
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        self.path = Path(path)
+        self.name = name
+        self.metadata = dict(metadata or {})
+        self.chunk_rows = int(chunk_rows)
+        self._pending: List[TraceColumns] = []
+        self._pending_rows = 0
+        self._chunks: List[ChunkInfo] = []
+        self._sorted = True
+        self._last_arrival: Optional[float] = None
+        self._closed = False
+        #: Populated by :meth:`close`.
+        self.manifest: Optional[StoreManifest] = None
+        self.path.mkdir(parents=True, exist_ok=True)
+        existing = self.path / MANIFEST_NAME
+        if existing.exists():
+            if not overwrite:
+                raise StoreError(
+                    f"{self.path!s} already holds a trace store "
+                    "(pass overwrite=True to replace it)"
+                )
+            existing.unlink()
+            for stale in sorted(self.path.glob("chunk-*.bin")):
+                stale.unlink()
+
+    # -- appending ------------------------------------------------------------
+
+    def append_columns(self, columns: TraceColumns) -> None:
+        """Queue a columnar batch (any length, including zero)."""
+        if self._closed:
+            raise StoreError("writer is closed")
+        rows = len(columns)
+        if rows == 0:
+            return
+        arrivals = columns.arrival_us
+        if self._sorted:
+            if self._last_arrival is not None and float(arrivals[0]) < self._last_arrival:
+                self._sorted = False
+            elif rows > 1 and bool(np.any(np.diff(arrivals) < 0)):
+                self._sorted = False
+        self._last_arrival = float(arrivals[-1])
+        self._pending.append(columns)
+        self._pending_rows += rows
+        while self._pending_rows >= self.chunk_rows:
+            self._flush_rows(self.chunk_rows)
+
+    def append_requests(self, requests: Sequence[Request]) -> None:
+        """Queue a batch of :class:`~repro.trace.Request` records."""
+        if requests:
+            self.append_columns(TraceColumns.from_requests(list(requests)))
+
+    def append_trace(self, trace: Trace) -> None:
+        """Queue a whole trace's columns (adopts its cached view)."""
+        self.append_columns(trace.columns())
+
+    # -- flushing -------------------------------------------------------------
+
+    def _take_rows(self, rows: int) -> TraceColumns:
+        """Remove exactly ``rows`` rows from the front of the buffer."""
+        taken: List[TraceColumns] = []
+        needed = rows
+        while needed > 0:
+            piece = self._pending[0]
+            if len(piece) <= needed:
+                taken.append(piece)
+                needed -= len(piece)
+                self._pending.pop(0)
+            else:
+                taken.append(piece.select(slice(0, needed)))
+                self._pending[0] = piece.select(slice(needed, len(piece)))
+                needed = 0
+        self._pending_rows -= rows
+        return concat_columns(taken)
+
+    def _flush_rows(self, rows: int) -> None:
+        columns = self._take_rows(rows)
+        index = len(self._chunks)
+        file_name = chunk_filename(index)
+        digest = hashlib.sha256()
+        nbytes = 0
+        with open(self.path / file_name, "wb") as handle:
+            for name in CHUNK_COLUMNS:
+                array = np.ascontiguousarray(
+                    getattr(columns, name), dtype=np.dtype(COLUMN_DTYPES[name])
+                )
+                payload = array.tobytes()
+                digest.update(payload)
+                handle.write(payload)
+                nbytes += len(payload)
+        arrivals = columns.arrival_us
+        self._chunks.append(
+            ChunkInfo(
+                file=file_name,
+                rows=rows,
+                min_arrival_us=float(arrivals.min()),
+                max_arrival_us=float(arrivals.max()),
+                sha256=digest.hexdigest(),
+                nbytes=nbytes,
+            )
+        )
+
+    # -- finalization ---------------------------------------------------------
+
+    @property
+    def rows_written(self) -> int:
+        """Rows already flushed to chunk files."""
+        return sum(chunk.rows for chunk in self._chunks)
+
+    def close(self) -> StoreManifest:
+        """Flush the partial tail chunk and write the manifest atomically."""
+        if self._closed:
+            raise StoreError("writer is already closed")
+        if self._pending_rows:
+            self._flush_rows(self._pending_rows)
+        manifest = StoreManifest(
+            name=self.name,
+            metadata=self.metadata,
+            chunks=self._chunks,
+            arrival_sorted=self._sorted,
+        )
+        write_manifest(self.path, manifest)
+        self._closed = True
+        self.manifest = manifest
+        return manifest
+
+    def __enter__(self) -> "StoreWriter":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        # Only finalize a clean exit; a raised exception leaves no manifest,
+        # so the partial directory is not mistaken for a valid store.
+        if exc_type is None and not self._closed:
+            self.close()
+
+
+def pack(
+    source: Union[Trace, TraceColumns, Iterable[TraceColumns]],
+    path: Union[str, Path],
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    name: Optional[str] = None,
+    metadata: Optional[Dict[str, str]] = None,
+    overwrite: bool = False,
+) -> StoreManifest:
+    """Pack ``source`` into a store directory at ``path``.
+
+    ``source`` may be a :class:`~repro.trace.Trace` (name/metadata are
+    taken from it unless overridden), a single
+    :class:`~repro.trace.TraceColumns`, or any iterable of column
+    batches (the fully streaming path).
+    """
+    if isinstance(source, Trace):
+        writer = StoreWriter(
+            path,
+            name=name if name is not None else source.name,
+            metadata=metadata if metadata is not None else source.metadata,
+            chunk_rows=chunk_rows,
+            overwrite=overwrite,
+        )
+        writer.append_trace(source)
+    else:
+        writer = StoreWriter(
+            path,
+            name=name if name is not None else "trace",
+            metadata=metadata,
+            chunk_rows=chunk_rows,
+            overwrite=overwrite,
+        )
+        if isinstance(source, TraceColumns):
+            writer.append_columns(source)
+        else:
+            for batch in source:
+                writer.append_columns(batch)
+    return writer.close()

@@ -1,0 +1,66 @@
+"""Single-pass, mergeable streaming analytics over chunked trace streams.
+
+Every statistic in the paper's Tables III/IV and Figs. 4-6 has a
+streaming counterpart here with the same three-method protocol:
+
+* ``update(chunk)`` folds the next :class:`~repro.trace.TraceColumns`
+  chunk in (chunks must arrive in stream order);
+* ``merge(other)`` absorbs the summary of the stream segment that
+  immediately follows this one (shard-and-merge trees);
+* ``finalize(...)`` returns the *exact* object the corresponding batch
+  kernel in :mod:`repro.analysis` produces -- bit-identical floats, not
+  just approximately equal (see :mod:`repro.streaming.reductions` for
+  how float folds stay exact across chunking and merging).
+
+The summaries pair with :mod:`repro.store` for out-of-core analysis:
+``summarize_store`` folds a memory-mapped store chunk by chunk with O(1)
+float state, so traces far larger than RAM reduce to the same numbers
+the in-memory kernels give.
+"""
+
+from .histograms import (
+    StreamingHistogram,
+    StreamingInterarrivalHistogram,
+    StreamingResponseHistogram,
+    StreamingSizeHistogram,
+)
+from .locality import (
+    StreamingLocalities,
+    StreamingSpatialLocality,
+    StreamingTemporalLocality,
+)
+from .reductions import OrderedSum, chunked
+from .size import StreamingSizeStats
+from .summary import (
+    DEFAULT_SUMMARY_CHUNK_ROWS,
+    StreamingTraceSummary,
+    TraceSummary,
+    summarize_chunks,
+    summarize_store,
+    summarize_trace,
+)
+from .throughput import StreamingThroughputBySize
+from .timing import NO_WAIT_TOLERANCE_US, StreamingNoWait, StreamingTimingStats
+
+__all__ = [
+    "StreamingHistogram",
+    "StreamingInterarrivalHistogram",
+    "StreamingResponseHistogram",
+    "StreamingSizeHistogram",
+    "StreamingLocalities",
+    "StreamingSpatialLocality",
+    "StreamingTemporalLocality",
+    "OrderedSum",
+    "chunked",
+    "StreamingSizeStats",
+    "DEFAULT_SUMMARY_CHUNK_ROWS",
+    "StreamingTraceSummary",
+    "TraceSummary",
+    "summarize_chunks",
+    "summarize_store",
+    "summarize_trace",
+    "StreamingThroughputBySize",
+    "NO_WAIT_TOLERANCE_US",
+    "StreamingNoWait",
+    "StreamingTimingStats",
+]

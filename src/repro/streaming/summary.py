@@ -1,0 +1,130 @@
+"""One-pass trace summary: everything Tables III/IV and Figs. 4-6 need.
+
+:class:`StreamingTraceSummary` bundles every per-trace streaming summary
+into a single object with the same ``update(chunk)`` / ``merge(other)`` /
+``finalize(name)`` protocol, so one pass over a trace store (or one
+shard-and-merge tree over its chunks) yields the exact
+:class:`~repro.analysis.size_stats.SizeStats`,
+:class:`~repro.analysis.timing_stats.TimingStats` and bucketed
+distributions the batch kernels compute from an in-memory
+:class:`~repro.trace.Trace`.
+
+Helpers: :func:`summarize_chunks` folds any chunk iterable (in stream
+order), :func:`summarize_store` runs out-of-core over a
+:class:`~repro.store.TraceStore` with O(1) float state
+(``collapse=True``), and :func:`summarize_trace` is the in-memory
+convenience wrapper used by the equality tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.analysis.size_stats import SizeStats
+from repro.analysis.timing_stats import TimingStats
+from repro.trace import Trace, TraceColumns
+
+from .histograms import (
+    StreamingInterarrivalHistogram,
+    StreamingResponseHistogram,
+    StreamingSizeHistogram,
+)
+from .reductions import chunked
+from .size import StreamingSizeStats
+from .timing import StreamingTimingStats
+
+#: Default number of rows folded per step by the helpers below.
+DEFAULT_SUMMARY_CHUNK_ROWS = 65536
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Everything the streaming pass produces for one trace."""
+
+    size: SizeStats
+    timing: TimingStats
+    size_distribution: Dict[str, float]
+    response_distribution: Dict[str, float]
+    interarrival_distribution: Dict[str, float]
+
+
+class StreamingTraceSummary:
+    """Single-pass, mergeable bundle of every per-trace statistic.
+
+    ``collapse=True`` keeps the float folds O(1) for sequential
+    out-of-core consumption; the default deferred form is mergeable
+    across contiguous shard splits (see
+    :class:`~repro.streaming.reductions.OrderedSum`).
+    """
+
+    __slots__ = ("size", "timing", "size_hist", "response_hist", "interarrival_hist")
+
+    def __init__(self, collapse: bool = False) -> None:
+        self.size = StreamingSizeStats()
+        self.timing = StreamingTimingStats(collapse=collapse)
+        self.size_hist = StreamingSizeHistogram()
+        self.response_hist = StreamingResponseHistogram()
+        self.interarrival_hist = StreamingInterarrivalHistogram()
+
+    def update(self, chunk: TraceColumns) -> None:
+        """Fold the next chunk (in stream order) in."""
+        self.size.update(chunk)
+        self.timing.update(chunk)
+        self.size_hist.update(chunk)
+        self.response_hist.update(chunk)
+        self.interarrival_hist.update(chunk)
+
+    def merge(self, other: "StreamingTraceSummary") -> None:
+        """Absorb the summary of the stream segment following this one."""
+        self.size.merge(other.size)
+        self.timing.merge(other.timing)
+        self.size_hist.merge(other.size_hist)
+        self.response_hist.merge(other.response_hist)
+        self.interarrival_hist.merge(other.interarrival_hist)
+
+    def finalize(self, name: str) -> TraceSummary:
+        """The exact objects the batch kernels return for this stream."""
+        return TraceSummary(
+            size=self.size.finalize(name),
+            timing=self.timing.finalize(name),
+            size_distribution=self.size_hist.finalize(),
+            response_distribution=self.response_hist.finalize(),
+            interarrival_distribution=self.interarrival_hist.finalize(),
+        )
+
+
+def summarize_chunks(
+    chunks: Iterable[TraceColumns], name: str, collapse: bool = True
+) -> TraceSummary:
+    """Fold an in-order chunk iterable into one :class:`TraceSummary`."""
+    summary = StreamingTraceSummary(collapse=collapse)
+    for chunk in chunks:
+        summary.update(chunk)
+    return summary.finalize(name)
+
+
+def summarize_store(
+    store, chunk_rows: Optional[int] = None, name: Optional[str] = None
+) -> TraceSummary:
+    """Out-of-core summary of a :class:`~repro.store.TraceStore`.
+
+    Chunks are memory-mapped one at a time and folded with O(1) float
+    state; peak resident memory is one chunk plus the distinct-LBA set.
+    """
+    return summarize_chunks(
+        store.iter_chunks(chunk_rows=chunk_rows),
+        name=store.name if name is None else name,
+        collapse=True,
+    )
+
+
+def summarize_trace(
+    trace: Trace,
+    chunk_rows: int = DEFAULT_SUMMARY_CHUNK_ROWS,
+    collapse: bool = True,
+) -> TraceSummary:
+    """In-memory convenience wrapper (chunked through the same path)."""
+    return summarize_chunks(
+        chunked(trace.columns(), chunk_rows), name=trace.name, collapse=collapse
+    )

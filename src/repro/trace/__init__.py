@@ -10,7 +10,7 @@ from .columns import (
     sequential_sum,
 )
 from .trace import Trace, merge
-from .blkparse import parse_blkparse
+from .blkparse import iter_requests, parse_blkparse
 from .io import dumps, loads, read_trace, write_trace
 from .validate import TraceValidationError, collect_problems, validate_trace
 
@@ -30,6 +30,7 @@ __all__ = [
     "sequential_sum",
     "Trace",
     "merge",
+    "iter_requests",
     "parse_blkparse",
     "dumps",
     "loads",

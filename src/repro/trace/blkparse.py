@@ -26,10 +26,13 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, TextIO, Tuple, Union
+from typing import Dict, Iterator, List, Optional, TextIO, Tuple, Union
 
 from .record import Op, Request, SECTOR, US_PER_S
 from .trace import Trace
+
+#: Requests per batch yielded by :func:`iter_requests`.
+DEFAULT_BATCH_SIZE = 4096
 
 #: Sector size blkparse reports in.
 BLK_SECTOR = 512
@@ -80,15 +83,41 @@ def parse_blkparse(source: Union[str, Path, TextIO], name: str = "blktrace") -> 
         A trace whose requests carry all three timestamps when the
         corresponding ``D`` and ``C`` events were present.
     """
+    requests: List[Request] = []
+    for batch in iter_requests(source):
+        requests.extend(batch)
+    return Trace(name=name, requests=requests, metadata={"source": "blkparse"})
+
+
+def iter_requests(
+    source: Union[str, Path, TextIO], batch_size: int = DEFAULT_BATCH_SIZE
+) -> Iterator[List[Request]]:
+    """Parse blkparse text into request batches, single pass, bounded memory.
+
+    Yields lists of at most ``batch_size`` requests in exactly the order
+    :func:`parse_blkparse` appends them (completed requests in ``C``-event
+    order, then the never-completed ``Q`` leftovers in queue order), so
+    ``[r for batch in iter_requests(src) for r in batch]`` equals the
+    whole-file parse's request list element for element.  Memory is
+    bounded by one batch plus the pending (un-completed) queue map --
+    the chunked entry point the trace-store packer feeds from::
+
+        with StoreWriter(path, name="phone") as writer:
+            for batch in iter_requests("blkparse.txt"):
+                writer.append_requests(batch)
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
     if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source):
         with open(source) as handle:
-            return _parse(handle, name)
-    if isinstance(source, str):
-        return _parse(iter(source.splitlines()), name)
-    return _parse(source, name)
+            yield from _iter_parse(handle, batch_size)
+    elif isinstance(source, str):
+        yield from _iter_parse(iter(source.splitlines()), batch_size)
+    else:
+        yield from _iter_parse(source, batch_size)
 
 
-def _parse(lines, name: str) -> Trace:
+def _iter_parse(lines, batch_size: int) -> Iterator[List[Request]]:
     pending: Dict[Tuple[int, str], List[_Pending]] = {}
     requests: List[Request] = []
     for line in lines:
@@ -125,13 +154,18 @@ def _parse(lines, name: str) -> Trace:
                 # Completion without a seen queue event: arrival unknown,
                 # record it as arriving when it completed.
                 requests.append(Request(time_us, lba, size, op, time_us, time_us))
-                continue
-            dispatch = item.dispatch_us if item.dispatch_us is not None else item.arrival_us
-            dispatch = max(dispatch, item.arrival_us)
-            finish = max(time_us, dispatch)
-            requests.append(
-                Request(item.arrival_us, lba, size, op, dispatch, finish)
-            )
+            else:
+                dispatch = (
+                    item.dispatch_us if item.dispatch_us is not None else item.arrival_us
+                )
+                dispatch = max(dispatch, item.arrival_us)
+                finish = max(time_us, dispatch)
+                requests.append(
+                    Request(item.arrival_us, lba, size, op, dispatch, finish)
+                )
+            if len(requests) >= batch_size:
+                yield requests
+                requests = []
     # Q events never completed: keep as un-replayed requests.
     for (sector, op_value), queue in pending.items():
         for item in queue:
@@ -143,4 +177,8 @@ def _parse(lines, name: str) -> Trace:
                     Op.parse(op_value),
                 )
             )
-    return Trace(name=name, requests=requests, metadata={"source": "blkparse"})
+            if len(requests) >= batch_size:
+                yield requests
+                requests = []
+    if requests:
+        yield requests

@@ -11,6 +11,23 @@ one row per request::
 
 Empty ``service_start_us``/``finish_us`` fields mean the trace has not been
 replayed on a device.
+
+Metadata keys and values are escaped so that the line-oriented header
+survives arbitrary strings: backslash, newline and carriage return are
+written as ``\\\\``, ``\\n`` and ``\\r`` in both, and ``=`` is escaped as
+``\\=`` in *keys* (the key/value split is the first unescaped ``=``, so
+values may contain ``=`` verbatim, as they always could).  Files written
+before escaping existed contain no backslashes and parse unchanged.
+
+Both directions are vectorized over the trace's columnar view: the
+writer renders whole columns (``repr`` per float via ``.tolist()``, bulk
+string joins) instead of looping over ``Request`` objects, and the
+reader splits the body into column lists and adopts the resulting
+:class:`~repro.trace.columns.TraceColumns` directly via
+:meth:`Trace.from_columns`, so a freshly read trace carries its
+struct-of-arrays view without a rebuild pass.  The emitted bytes are
+identical to the old per-request ``csv`` module path (header lines end
+``\\n``, data rows end ``\\r\\n``, floats are ``repr``-rendered).
 """
 
 from __future__ import annotations
@@ -18,12 +35,76 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import List, TextIO, Union
+from typing import Dict, List, TextIO, Tuple, Union
 
+import numpy as np
+
+from .columns import FLAG_HAS_FINISH, FLAG_HAS_SERVICE, OP_WRITE, TraceColumns
 from .record import Op, Request
 from .trace import Trace
 
 _FIELDS = ["arrival_us", "lba", "size", "op", "service_start_us", "finish_us"]
+_HEADER = ",".join(_FIELDS)
+
+
+# -- metadata escaping --------------------------------------------------------
+
+
+def _escape_value(text: str) -> str:
+    """Make ``text`` safe for one ``# key=value`` header line."""
+    return (
+        text.replace("\\", "\\\\").replace("\n", "\\n").replace("\r", "\\r")
+    )
+
+
+def _escape_key(text: str) -> str:
+    """Like :func:`_escape_value`, additionally protecting ``=``."""
+    return _escape_value(text).replace("=", "\\=")
+
+
+def _unescape(text: str) -> str:
+    """Invert :func:`_escape_key` / :func:`_escape_value`."""
+    if "\\" not in text:
+        return text
+    out: List[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\" and i + 1 < n:
+            nxt = text[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt == "r":
+                out.append("\r")
+            else:  # ``\\\\``, ``\\=`` and any future escape: literal char
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _split_metadata(line: str) -> Tuple[str, str]:
+    """Split ``key=value`` at the first *unescaped* ``=``.
+
+    Returns ``(raw_key, raw_value)`` still escaped; ``("", line)`` when no
+    unescaped ``=`` exists (malformed line -- ignored by the reader, which
+    matches the old ``partition`` behaviour for ``=``-less lines).
+    """
+    i, n = 0, len(line)
+    while i < n:
+        ch = line[i]
+        if ch == "\\":
+            i += 2
+            continue
+        if ch == "=":
+            return line[:i], line[i + 1 :]
+        i += 1
+    return "", line
+
+
+# -- writing ------------------------------------------------------------------
 
 
 def write_trace(trace: Trace, destination: Union[str, Path, TextIO]) -> None:
@@ -35,23 +116,51 @@ def write_trace(trace: Trace, destination: Union[str, Path, TextIO]) -> None:
         _write(trace, destination)
 
 
+def format_header(name: str, metadata: Dict[str, str]) -> str:
+    """The metadata block plus column-header line (written once per file)."""
+    lines = [f"# name={_escape_value(name)}\n"]
+    for key, value in sorted(metadata.items()):
+        lines.append(f"# {_escape_key(key)}={_escape_value(str(value))}\n")
+    lines.append(_HEADER + "\r\n")
+    return "".join(lines)
+
+
+def format_rows(columns: TraceColumns) -> str:
+    """One chunk of CSV body text, vectorized over the columns.
+
+    Every field is a number or ``R``/``W`` -- never quoted -- so a bulk
+    string join produces byte-identical output to ``csv.writer`` (which
+    also terminates rows with ``\\r\\n``).
+    """
+    rows = len(columns)
+    if rows == 0:
+        return ""
+    arrival = [repr(v) for v in columns.arrival_us.tolist()]
+    lba = [str(v) for v in columns.lba.tolist()]
+    size = [str(v) for v in columns.size.tolist()]
+    op = ["W" if v else "R" for v in columns.op.tolist()]
+    has_service = (columns.flags & FLAG_HAS_SERVICE) != 0
+    has_finish = (columns.flags & FLAG_HAS_FINISH) != 0
+    service = [
+        repr(v) if present else ""
+        for v, present in zip(columns.service_start_us.tolist(), has_service.tolist())
+    ]
+    finish = [
+        repr(v) if present else ""
+        for v, present in zip(columns.complete_us.tolist(), has_finish.tolist())
+    ]
+    return "".join(
+        f"{arrival[i]},{lba[i]},{size[i]},{op[i]},{service[i]},{finish[i]}\r\n"
+        for i in range(rows)
+    )
+
+
 def _write(trace: Trace, handle: TextIO) -> None:
-    handle.write(f"# name={trace.name}\n")
-    for key, value in sorted(trace.metadata.items()):
-        handle.write(f"# {key}={value}\n")
-    writer = csv.writer(handle)
-    writer.writerow(_FIELDS)
-    for request in trace:
-        writer.writerow(
-            [
-                repr(request.arrival_us),
-                request.lba,
-                request.size,
-                request.op.value,
-                "" if request.service_start_us is None else repr(request.service_start_us),
-                "" if request.finish_us is None else repr(request.finish_us),
-            ]
-        )
+    handle.write(format_header(trace.name, trace.metadata))
+    handle.write(format_rows(trace.columns()))
+
+
+# -- reading ------------------------------------------------------------------
 
 
 def read_trace(source: Union[str, Path, TextIO]) -> Trace:
@@ -62,35 +171,94 @@ def read_trace(source: Union[str, Path, TextIO]) -> Trace:
     return _read(source, default_name="trace")
 
 
+def _columns_from_rows(body_lines: List[str]) -> TraceColumns:
+    """Parse CSV body lines (after the header line) into columns."""
+    arrival: List[float] = []
+    lba: List[int] = []
+    size: List[int] = []
+    op: List[int] = []
+    service: List[float] = []
+    finish: List[float] = []
+    flags: List[int] = []
+    nan = float("nan")
+    for line in body_lines:
+        fields = line.rstrip("\r\n").split(",")
+        if len(fields) != 6:
+            raise ValueError(f"malformed trace row: {line!r}")
+        arrival.append(float(fields[0]))
+        lba.append(int(fields[1]))
+        size.append(int(fields[2]))
+        op.append(1 if Op.parse(fields[3]) is Op.WRITE else 0)
+        flag = 0
+        if fields[4]:
+            service.append(float(fields[4]))
+            flag |= FLAG_HAS_SERVICE
+        else:
+            service.append(nan)
+        if fields[5]:
+            finish.append(float(fields[5]))
+            flag |= FLAG_HAS_FINISH
+        else:
+            finish.append(nan)
+        flags.append(flag)
+    return TraceColumns(
+        np.array(arrival, dtype=np.float64),
+        np.array(service, dtype=np.float64),
+        np.array(finish, dtype=np.float64),
+        np.array(lba, dtype=np.int64),
+        np.array(size, dtype=np.int64),
+        np.array(op, dtype=np.uint8),
+        np.array(flags, dtype=np.uint8),
+    )
+
+
 def _read(handle: TextIO, default_name: str) -> Trace:
     name = default_name
-    metadata = {}
+    metadata: Dict[str, str] = {}
     body_lines: List[str] = []
     for line in handle:
         stripped = line.strip()
         if stripped.startswith("#"):
-            key, _, value = stripped.lstrip("# ").partition("=")
+            raw_key, raw_value = _split_metadata(stripped.lstrip("# "))
+            key, value = _unescape(raw_key), _unescape(raw_value)
             if key == "name":
                 name = value
             elif key:
                 metadata[key] = value
         elif stripped:
             body_lines.append(line)
-    reader = csv.DictReader(io.StringIO("".join(body_lines)))
-    if reader.fieldnames != _FIELDS:
-        raise ValueError(f"unexpected trace header: {reader.fieldnames}")
-    requests = []
-    for row in reader:
+    if not body_lines:
+        raise ValueError("trace file has no header row")
+    header = body_lines[0].rstrip("\r\n")
+    if header.split(",") != _FIELDS:
+        reader = csv.reader(io.StringIO(body_lines[0]))
+        raise ValueError(f"unexpected trace header: {next(reader, None)}")
+    rows = body_lines[1:]
+    if any('"' in line for line in rows):  # pragma: no cover - hand-made files
+        return _read_quoted(rows, name, metadata)
+    columns = _columns_from_rows(rows)
+    arrivals = columns.arrival_us
+    if arrivals.size > 1 and bool(np.any(np.diff(arrivals) < 0)):
+        # Out-of-order rows (e.g. hand-edited files): the Trace
+        # constructor's stable sort restores arrival order.
+        return Trace(name=name, requests=columns.to_requests(), metadata=metadata)
+    return Trace.from_columns(name, columns, metadata=metadata)
+
+
+def _read_quoted(rows: List[str], name: str, metadata: Dict[str, str]) -> Trace:
+    """Slow path for quoted fields (never produced by :func:`write_trace`)."""
+    requests: List[Request] = []
+    for row in csv.reader(io.StringIO("".join(rows))):
+        if not row:
+            continue
         requests.append(
             Request(
-                arrival_us=float(row["arrival_us"]),
-                lba=int(row["lba"]),
-                size=int(row["size"]),
-                op=Op.parse(row["op"]),
-                service_start_us=float(row["service_start_us"])
-                if row["service_start_us"]
-                else None,
-                finish_us=float(row["finish_us"]) if row["finish_us"] else None,
+                arrival_us=float(row[0]),
+                lba=int(row[1]),
+                size=int(row[2]),
+                op=Op.parse(row[3]),
+                service_start_us=float(row[4]) if row[4] else None,
+                finish_us=float(row[5]) if row[5] else None,
             )
         )
     return Trace(name=name, requests=requests, metadata=metadata)

@@ -124,3 +124,41 @@ class TestForkSafety:
         finally:
             os.close(read_fd)
             os.waitpid(pid, 0)
+
+
+class TestTraceStoreSourcing:
+    """``$REPRO_TRACE_STORE`` swaps synthesis for packed stores, exactly."""
+
+    def _pack(self, root, name, seed, num_requests):
+        from repro.store import pack
+        from repro.workloads import generate_trace
+
+        trace = generate_trace(name, seed=seed, num_requests=num_requests)
+        key = common.trace_store_key(name, seed, num_requests)
+        pack(trace, os.path.join(root, key), chunk_rows=32)
+        return trace
+
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(common.TRACE_STORE_ENV, raising=False)
+        assert common._trace_from_store("Email", 1, 30) is None
+
+    def test_store_key_escapes_slash(self):
+        assert common.trace_store_key("Music/WB", 7, None) == "Music+WB-s7-nfull"
+        assert common.trace_store_key("Email", 7, 90) == "Email-s7-n90"
+
+    def test_sourced_trace_identical_to_synthesis(self, tmp_path, monkeypatch):
+        expected = self._pack(tmp_path, "Email", 21, 80)
+        monkeypatch.setenv(common.TRACE_STORE_ENV, str(tmp_path))
+        common.clear_experiment_caches()
+        sourced = common.cached_trace("Email", seed=21, num_requests=80)
+        assert sourced.name == expected.name
+        assert sourced.metadata == expected.metadata
+        assert list(sourced) == list(expected)
+        common.clear_experiment_caches()
+
+    def test_missing_store_falls_back_to_synthesis(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(common.TRACE_STORE_ENV, str(tmp_path))
+        common.clear_experiment_caches()
+        trace = common.cached_trace("Twitter", seed=22, num_requests=40)
+        assert len(trace) == 40
+        common.clear_experiment_caches()

@@ -1,0 +1,1 @@
+"""Tests for the chunked columnar trace store."""

@@ -1,0 +1,254 @@
+"""Unit and integration tests for :mod:`repro.store`."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    CHUNK_COLUMNS,
+    COLUMN_DTYPES,
+    DEFAULT_CHUNK_ROWS,
+    MANIFEST_NAME,
+    ROW_NBYTES,
+    StoreError,
+    StoreWriter,
+    chunk_filename,
+    concat_columns,
+    open_store,
+    pack,
+    read_manifest,
+)
+from repro.streaming import chunked
+from repro.trace import Op, Request, Trace
+from repro.workloads import generate_trace
+
+
+def _trace(n=500, seed=9, name="Email"):
+    return generate_trace(name, seed=seed, num_requests=n)
+
+
+class TestFormat:
+    def test_row_width_matches_schema(self):
+        widths = {"<f8": 8, "<i8": 8, "|u1": 1}
+        assert ROW_NBYTES == sum(widths[COLUMN_DTYPES[c]] for c in CHUNK_COLUMNS)
+
+    def test_chunk_filenames_sort_lexicographically(self):
+        names = [chunk_filename(i) for i in (0, 1, 9, 10, 99, 100)]
+        assert names == sorted(names)
+
+
+class TestPackAndOpen:
+    def test_round_trip_requests_equal(self, tmp_path):
+        trace = _trace(401)
+        pack(trace, tmp_path / "s", chunk_rows=97)
+        store = open_store(tmp_path / "s")
+        assert len(store) == 401
+        assert store.num_chunks == 5
+        restored = store.to_trace()
+        assert restored.name == trace.name
+        assert restored.metadata == trace.metadata
+        assert list(restored) == list(trace)
+
+    def test_replayed_trace_round_trips_timestamps(self, tmp_path):
+        from repro.workloads.collection import collect
+
+        trace = collect("Email", seed=3, num_requests=200).trace
+        pack(trace, tmp_path / "s", chunk_rows=64)
+        restored = open_store(tmp_path / "s").to_trace()
+        assert list(restored) == list(trace)
+        assert restored.completed
+
+    def test_empty_trace(self, tmp_path):
+        pack(Trace("empty", []), tmp_path / "s")
+        store = open_store(tmp_path / "s")
+        assert len(store) == 0
+        assert store.num_chunks == 0
+        assert len(store.to_trace()) == 0
+
+    def test_pack_is_deterministic(self, tmp_path):
+        trace = _trace(300)
+        pack(trace, tmp_path / "a", chunk_rows=77)
+        pack(trace, tmp_path / "b", chunk_rows=77)
+        manifest_a = (tmp_path / "a" / MANIFEST_NAME).read_bytes()
+        manifest_b = (tmp_path / "b" / MANIFEST_NAME).read_bytes()
+        assert manifest_a == manifest_b
+        for info in read_manifest(tmp_path / "a").chunks:
+            assert (tmp_path / "a" / info.file).read_bytes() == (
+                tmp_path / "b" / info.file
+            ).read_bytes()
+
+    def test_refuses_overwrite_without_flag(self, tmp_path):
+        pack(_trace(50), tmp_path / "s")
+        with pytest.raises(StoreError, match="already holds"):
+            pack(_trace(50), tmp_path / "s")
+        pack(_trace(60), tmp_path / "s", overwrite=True)
+        assert len(open_store(tmp_path / "s")) == 60
+
+    def test_pack_from_column_batches(self, tmp_path):
+        trace = _trace(250)
+        batches = list(chunked(trace.columns(), 33))
+        pack(batches, tmp_path / "s", chunk_rows=40, name=trace.name,
+             metadata=trace.metadata)
+        assert list(open_store(tmp_path / "s").to_trace()) == list(trace)
+
+
+class TestWriter:
+    def test_rechunks_arbitrary_batches(self, tmp_path):
+        trace = _trace(321)
+        writer = StoreWriter(tmp_path / "s", name="t", chunk_rows=100)
+        columns = trace.columns()
+        for start, stop in [(0, 1), (1, 150), (150, 155), (155, 321)]:
+            writer.append_columns(columns.select(slice(start, stop)))
+        manifest = writer.close()
+        assert [c.rows for c in manifest.chunks] == [100, 100, 100, 21]
+        assert list(open_store(tmp_path / "s").to_trace()) == list(trace)
+
+    def test_append_after_close_rejected(self, tmp_path):
+        writer = StoreWriter(tmp_path / "s", name="t")
+        writer.close()
+        with pytest.raises(StoreError):
+            writer.append_requests([Request(0.0, 0, 4096, Op.READ)])
+
+    def test_crash_leaves_no_manifest(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with StoreWriter(tmp_path / "s", name="t") as writer:
+                writer.append_requests([Request(0.0, 0, 4096, Op.READ)])
+                raise RuntimeError("boom")
+        assert not (tmp_path / "s" / MANIFEST_NAME).exists()
+        with pytest.raises(StoreError):
+            open_store(tmp_path / "s")
+
+    def test_context_manager_closes_cleanly(self, tmp_path):
+        with StoreWriter(tmp_path / "s", name="t", chunk_rows=8) as writer:
+            writer.append_requests(
+                [Request(float(i), i * 4096, 4096, Op.WRITE) for i in range(20)]
+            )
+        store = open_store(tmp_path / "s")
+        assert len(store) == 20
+        assert writer.manifest is not None
+        assert writer.manifest.total_rows == 20
+
+    def test_unsorted_stream_flagged(self, tmp_path):
+        writer = StoreWriter(tmp_path / "s", name="t")
+        writer.append_requests(
+            [Request(5.0, 0, 4096, Op.READ), Request(1.0, 4096, 4096, Op.READ)]
+        )
+        assert writer.close().arrival_sorted is False
+
+    def test_sorted_across_batches_flagged_sorted(self, tmp_path):
+        writer = StoreWriter(tmp_path / "s", name="t")
+        writer.append_requests([Request(1.0, 0, 4096, Op.READ)])
+        writer.append_requests([Request(1.0, 0, 4096, Op.READ)])  # ties allowed
+        writer.append_requests([Request(2.0, 0, 4096, Op.READ)])
+        assert writer.close().arrival_sorted is True
+
+
+class TestReader:
+    def test_iter_chunks_rechunking_preserves_stream(self, tmp_path):
+        trace = _trace(500)
+        pack(trace, tmp_path / "s", chunk_rows=123)
+        store = open_store(tmp_path / "s")
+        for rows in (1, 7, 123, 200, 499, 500, 10000):
+            pieces = list(store.iter_chunks(chunk_rows=rows))
+            assert sum(len(p) for p in pieces) == 500
+            assert all(len(p) == rows for p in pieces[:-1])
+            rebuilt = concat_columns(pieces)
+            np.testing.assert_array_equal(rebuilt.arrival_us,
+                                          trace.columns().arrival_us)
+            np.testing.assert_array_equal(rebuilt.lba, trace.columns().lba)
+
+    def test_columns_match_source(self, tmp_path):
+        trace = _trace(260)
+        pack(trace, tmp_path / "s", chunk_rows=64)
+        columns = open_store(tmp_path / "s").columns()
+        source = trace.columns()
+        for name in CHUNK_COLUMNS:
+            np.testing.assert_array_equal(getattr(columns, name),
+                                          getattr(source, name))
+
+    def test_range_selection_prunes_chunks(self, tmp_path):
+        trace = _trace(600)
+        pack(trace, tmp_path / "s", chunk_rows=100)
+        store = open_store(tmp_path / "s")
+        infos = store.chunk_infos
+        # A range strictly inside the 4th chunk's arrival span.
+        start = infos[3].min_arrival_us
+        end = infos[3].max_arrival_us
+        opened_before = store.chunks_opened
+        selected = store.select_arrival_range(start, end)
+        assert store.chunks_opened - opened_before == len(
+            store.chunks_overlapping(start, end)
+        )
+        assert store.chunks_opened - opened_before < store.num_chunks
+        arrivals = trace.columns().arrival_us
+        expected = int(np.count_nonzero((arrivals >= start) & (arrivals < end)))
+        assert len(selected) == expected
+
+    def test_range_selection_matches_mask(self, tmp_path):
+        trace = _trace(400)
+        pack(trace, tmp_path / "s", chunk_rows=90)
+        store = open_store(tmp_path / "s")
+        arrivals = trace.columns().arrival_us
+        mid = float(np.median(arrivals))
+        end = float(arrivals.max())
+        selected = store.select_arrival_range(mid, end)
+        mask = (arrivals >= mid) & (arrivals < end)
+        np.testing.assert_array_equal(selected.arrival_us, arrivals[mask])
+
+    def test_where_predicate(self, tmp_path):
+        trace = _trace(300)
+        pack(trace, tmp_path / "s", chunk_rows=64)
+        store = open_store(tmp_path / "s")
+        writes = store.where(lambda chunk: chunk.write_mask)
+        assert len(writes) == int(np.count_nonzero(trace.columns().write_mask))
+        assert bool(writes.op.all())
+
+    def test_verify_detects_corruption(self, tmp_path):
+        pack(_trace(100), tmp_path / "s", chunk_rows=40)
+        store = open_store(tmp_path / "s")
+        store.verify()
+        target = tmp_path / "s" / store.chunk_infos[1].file
+        payload = bytearray(target.read_bytes())
+        payload[10] ^= 0xFF
+        target.write_bytes(bytes(payload))
+        with pytest.raises(StoreError, match="checksum"):
+            open_store(tmp_path / "s").verify()
+
+    def test_verify_detects_truncation(self, tmp_path):
+        pack(_trace(100), tmp_path / "s", chunk_rows=40)
+        store = open_store(tmp_path / "s")
+        target = tmp_path / "s" / store.chunk_infos[0].file
+        target.write_bytes(target.read_bytes()[:-8])
+        with pytest.raises(StoreError, match="bytes on disk"):
+            open_store(tmp_path / "s").verify()
+
+
+class TestManifestValidation:
+    def test_rejects_tampered_schema(self, tmp_path):
+        pack(_trace(50), tmp_path / "s")
+        path = tmp_path / "s" / MANIFEST_NAME
+        payload = json.loads(path.read_text())
+        payload["columns"]["lba"] = "<i4"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StoreError, match="schema"):
+            open_store(tmp_path / "s")
+
+    def test_rejects_wrong_version(self, tmp_path):
+        pack(_trace(50), tmp_path / "s")
+        path = tmp_path / "s" / MANIFEST_NAME
+        payload = json.loads(path.read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StoreError, match="version"):
+            open_store(tmp_path / "s")
+
+    def test_rejects_missing_chunk_file(self, tmp_path):
+        pack(_trace(150), tmp_path / "s", chunk_rows=50)
+        (tmp_path / "s" / chunk_filename(1)).unlink()
+        with pytest.raises(StoreError, match="missing"):
+            open_store(tmp_path / "s")
+
+    def test_default_chunk_rows_sane(self):
+        assert DEFAULT_CHUNK_ROWS > 0
+        assert DEFAULT_CHUNK_ROWS * ROW_NBYTES < 64 * 1024 * 1024

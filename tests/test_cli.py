@@ -85,3 +85,82 @@ class TestExperimentsPassthrough:
         assert main(["experiments", "--list"]) == 0
         out = capsys.readouterr().out
         assert "fig8" in out and "shards" in out
+
+
+class TestStore:
+    def _packed(self, tmp_path, capsys):
+        path = tmp_path / "email.store"
+        assert main(
+            ["store", "pack", "--app", "Email", "-o", str(path),
+             "--requests", "60", "--chunk-rows", "16"]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_pack_from_app(self, tmp_path, capsys):
+        path = tmp_path / "email.store"
+        code = main(
+            ["store", "pack", "--app", "Email", "-o", str(path),
+             "--requests", "60", "--chunk-rows", "16"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "packed 60 requests into 4 chunk(s)" in out
+
+    def test_pack_requires_exactly_one_source(self, tmp_path, capsys):
+        assert main(["store", "pack", "-o", str(tmp_path / "s")]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_pack_from_csv_round_trips(self, tmp_path, capsys):
+        csv = tmp_path / "t.csv"
+        main(["collect", "Email", "-o", str(csv), "--requests", "40"])
+        store = tmp_path / "t.store"
+        assert main(["store", "pack", str(csv), "-o", str(store)]) == 0
+        from repro.store import open_store
+
+        assert list(open_store(store).to_trace()) == list(read_trace(csv))
+
+    def test_pack_from_blkparse(self, tmp_path, capsys):
+        log = tmp_path / "blk.txt"
+        log.write_text(
+            "8,16 1 1 0.000100000 1 Q W 8 + 8 [x]\n"
+            "8,16 1 2 0.001000000 0 C W 8 + 8 [0]\n"
+        )
+        store = tmp_path / "blk.store"
+        assert main(["store", "pack", "--blkparse", str(log), "-o", str(store)]) == 0
+        from repro.store import open_store
+
+        opened = open_store(store)
+        assert len(opened) == 1
+        assert opened.manifest.metadata["source"] == "blkparse"
+
+    def test_info_reports_manifest(self, tmp_path, capsys):
+        path = self._packed(tmp_path, capsys)
+        assert main(["store", "info", str(path), "--verify", "--chunks"]) == 0
+        out = capsys.readouterr().out
+        assert "Email" in out
+        assert "Requests" in out and "60" in out
+        assert "chunk-000003.bin" in out
+        assert "verified" in out.lower()
+
+    def test_cat_writes_identical_csv(self, tmp_path, capsys):
+        csv = tmp_path / "t.csv"
+        main(["generate", "Email", "-o", str(csv), "--requests", "60"])
+        store = tmp_path / "t.store"
+        main(["store", "pack", str(csv), "-o", str(store)])
+        capsys.readouterr()
+        out = tmp_path / "restored.csv"
+        assert main(["store", "cat", str(store), "-o", str(out)]) == 0
+        assert out.read_bytes() == csv.read_bytes()
+
+    def test_stats_matches_csv_stats(self, tmp_path, capsys):
+        csv = tmp_path / "t.csv"
+        main(["collect", "Email", "-o", str(csv), "--requests", "50"])
+        store = tmp_path / "t.store"
+        main(["store", "pack", str(csv), "-o", str(store)])
+        capsys.readouterr()
+        assert main(["stats", str(csv)]) == 0
+        batch = capsys.readouterr().out
+        assert main(["store", "stats", str(store)]) == 0
+        streaming = capsys.readouterr().out
+        assert streaming == batch

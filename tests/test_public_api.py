@@ -13,6 +13,8 @@ PACKAGES = [
     "repro.emmc",
     "repro.emmc.ftl",
     "repro.analysis",
+    "repro.store",
+    "repro.streaming",
     "repro.experiments",
 ]
 

@@ -1,8 +1,10 @@
 """Unit tests for the blkparse importer."""
 
+import random
+
 import pytest
 
-from repro.trace import Op, parse_blkparse
+from repro.trace import Op, iter_requests, parse_blkparse
 
 SAMPLE = """\
 8,16   1     1     0.000100000  1234  Q  W  8 + 8 [app]
@@ -72,3 +74,104 @@ class TestParsing:
 
     def test_metadata_marks_source(self):
         assert parse_blkparse(SAMPLE).metadata["source"] == "blkparse"
+
+
+def _synthetic_log(events: int, seed: int = 5) -> str:
+    """A messy blkparse log: interleaved Q/D/C, orphans, leftovers."""
+    rng = random.Random(seed)
+    lines = []
+    time_s = 0.0
+    seq = 0
+    open_keys = []
+    for _ in range(events):
+        time_s += rng.random() / 1000.0
+        seq += 1
+        op = rng.choice("RW")
+        roll = rng.random()
+        if roll < 0.5 or not open_keys:
+            sector = rng.randrange(0, 1 << 20, 8)
+            count = rng.choice((8, 16, 32, 64))
+            lines.append(
+                f"8,16 1 {seq} {time_s:.9f} 77 Q {op} {sector} + {count} [app]"
+            )
+            open_keys.append((sector, count, op))
+        elif roll < 0.7:
+            sector, count, op = rng.choice(open_keys)
+            lines.append(
+                f"8,16 1 {seq} {time_s:.9f} 77 D {op} {sector} + {count} [app]"
+            )
+        else:
+            sector, count, op = open_keys.pop(rng.randrange(len(open_keys)))
+            lines.append(
+                f"8,16 1 {seq} {time_s:.9f} 0 C {op} {sector} + {count} [0]"
+            )
+    # A few orphan completions (no queue event seen).
+    for _ in range(3):
+        time_s += 0.001
+        seq += 1
+        lines.append(f"8,16 1 {seq} {time_s:.9f} 0 C R 99999992 + 8 [0]")
+    return "\n".join(lines) + "\n"
+
+
+class TestIterRequests:
+    """The chunked entry point must replicate the whole-file parse."""
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 7, 1000])
+    def test_batches_equal_whole_parse(self, batch_size):
+        text = _synthetic_log(300)
+        whole = parse_blkparse(text, name="t")
+        streamed = [r for batch in iter_requests(text, batch_size) for r in batch]
+        # parse_blkparse sorts by arrival (stable); compare pre-sort order
+        # by rebuilding a trace from the streamed requests.
+        from repro.trace import Trace
+
+        rebuilt = Trace(name="t", requests=streamed, metadata={"source": "blkparse"})
+        assert list(rebuilt) == list(whole)
+
+    def test_batch_sizes_respected(self):
+        text = _synthetic_log(200)
+        batches = list(iter_requests(text, batch_size=16))
+        assert all(len(batch) <= 16 for batch in batches)
+        assert all(len(batch) == 16 for batch in batches[:-1])
+
+    def test_file_input(self, tmp_path):
+        path = tmp_path / "log.txt"
+        path.write_text(SAMPLE)
+        assert sum(len(b) for b in iter_requests(path)) == 2
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iter_requests(SAMPLE, batch_size=0))
+
+
+class TestBlkparseStoreRoundTrip:
+    """blkparse -> StoreWriter -> to_trace() equals parse_blkparse."""
+
+    @pytest.mark.parametrize("chunk_rows", [7, 64, 100000])
+    def test_round_trip_equality(self, tmp_path, chunk_rows):
+        from repro.store import StoreWriter, open_store
+
+        text = _synthetic_log(400, seed=11)
+        whole = parse_blkparse(text, name="phone")
+        writer = StoreWriter(
+            tmp_path / "phone.store",
+            name="phone",
+            metadata={"source": "blkparse"},
+            chunk_rows=chunk_rows,
+        )
+        for batch in iter_requests(text, batch_size=37):
+            writer.append_requests(batch)
+        manifest = writer.close()
+        store = open_store(tmp_path / "phone.store")
+        assert len(store) == len(whole)
+        restored = store.to_trace()
+        assert restored.name == whole.name
+        assert restored.metadata == whole.metadata
+        assert list(restored) == list(whole)
+        # The importer's C-event order is generally not arrival order;
+        # the manifest must record exactly whether the stream was sorted
+        # (an unsorted store exercises the stable-sort materialization).
+        streamed = [r for batch in iter_requests(text, batch_size=37) for r in batch]
+        arrivals = [r.arrival_us for r in streamed]
+        assert manifest.arrival_sorted == (arrivals == sorted(arrivals))
+        assert manifest.arrival_sorted is False  # this log interleaves

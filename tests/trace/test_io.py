@@ -1,5 +1,6 @@
 """Unit tests for trace CSV serialization."""
 
+import csv
 import io
 
 import pytest
@@ -49,6 +50,111 @@ class TestRoundTrip:
         restored = loads(dumps(_trace()))
         assert restored[0].service_start_us is None
         assert restored[0].finish_us is None
+
+
+class TestMetadataEscaping:
+    """Header lines must survive arbitrary metadata strings."""
+
+    def _round_trip(self, metadata, name="demo"):
+        trace = Trace(name=name, requests=[Request(0.0, 0, 4096, Op.READ)],
+                      metadata=metadata)
+        return loads(dumps(trace))
+
+    def test_value_containing_equals(self):
+        restored = self._round_trip({"expr": "a=b=c"})
+        assert restored.metadata == {"expr": "a=b=c"}
+
+    def test_value_containing_newline(self):
+        # Regression: an embedded newline used to split the header line,
+        # corrupting the file (the tail was mis-parsed as another line).
+        restored = self._round_trip({"note": "line one\nline two"})
+        assert restored.metadata == {"note": "line one\nline two"}
+
+    def test_value_containing_carriage_return_and_backslash(self):
+        value = "path\\to\\thing\r\nnext"
+        restored = self._round_trip({"k": value})
+        assert restored.metadata == {"k": value}
+
+    def test_key_containing_equals(self):
+        # Regression: the first ``=`` used to split the key, so
+        # ``{"a=b": "c"}`` read back as ``{"a": "b=c"}``.
+        restored = self._round_trip({"a=b": "c"})
+        assert restored.metadata == {"a=b": "c"}
+
+    def test_name_containing_newline(self):
+        restored = self._round_trip({}, name="two\nlines")
+        assert restored.name == "two\nlines"
+
+    def test_escaped_payload_does_not_collide(self):
+        # A value that *looks* like an escape must survive verbatim.
+        restored = self._round_trip({"k": "\\n is not a newline"})
+        assert restored.metadata == {"k": "\\n is not a newline"}
+
+    def test_unescaped_legacy_file_parses_unchanged(self):
+        text = "# name=legacy\n# key=va=lue\narrival_us,lba,size,op,service_start_us,finish_us\n0.0,0,4096,R,,\n"
+        trace = loads(text)
+        assert trace.name == "legacy"
+        assert trace.metadata == {"key": "va=lue"}
+
+
+class TestVectorizedFormat:
+    """The columnar writer/reader must match the old csv-module bytes."""
+
+    @staticmethod
+    def _reference_dumps(trace):
+        """The pre-vectorization per-request writer (without escaping)."""
+        buffer = io.StringIO()
+        buffer.write(f"# name={trace.name}\n")
+        for key, value in sorted(trace.metadata.items()):
+            buffer.write(f"# {key}={value}\n")
+        writer = csv.writer(buffer)
+        writer.writerow(
+            ["arrival_us", "lba", "size", "op", "service_start_us", "finish_us"]
+        )
+        for request in trace:
+            writer.writerow(
+                [
+                    repr(request.arrival_us),
+                    request.lba,
+                    request.size,
+                    request.op.value,
+                    "" if request.service_start_us is None
+                    else repr(request.service_start_us),
+                    "" if request.finish_us is None else repr(request.finish_us),
+                ]
+            )
+        return buffer.getvalue()
+
+    def test_bytes_identical_to_reference_writer(self):
+        trace = _trace()
+        assert dumps(trace) == self._reference_dumps(trace)
+
+    def test_bytes_identical_on_generated_trace(self):
+        from repro.workloads import generate_trace
+
+        trace = generate_trace("Email", seed=3, num_requests=200)
+        assert dumps(trace) == self._reference_dumps(trace)
+
+    def test_reader_adopts_columns(self):
+        restored = loads(dumps(_trace()))
+        columns = restored.columns()
+        assert len(columns) == 2
+        assert restored[1].service_start_us == 10.5
+
+    def test_out_of_order_rows_are_sorted(self):
+        text = (
+            "arrival_us,lba,size,op,service_start_us,finish_us\r\n"
+            "5.0,0,4096,R,,\r\n"
+            "1.0,4096,4096,W,,\r\n"
+        )
+        trace = loads(text)
+        assert [r.arrival_us for r in trace] == [1.0, 5.0]
+
+    def test_empty_trace_round_trip(self):
+        empty = Trace("empty", [])
+        restored = loads(dumps(empty))
+        assert len(restored) == 0
+        assert restored.name == "empty"
 
 
 class TestErrors:
