@@ -1,0 +1,67 @@
+"""Fault-layer overhead benchmark.
+
+The fault subsystem is opt-in: a device built without a plan (or with
+``FaultPlan.none()``) carries no injector and takes no per-page branch,
+so the fault-free replay path must stay at the sim-kernel benchmark's
+throughput floor.  A second, informational timing shows what an active
+plan costs (RNG draws per page plus retry timer events)."""
+
+from repro.emmc import EmmcDevice, four_ps
+from repro.faults import FaultPlan, replay_with_faults
+from repro.sim import Host
+from repro.workloads import generate_trace
+
+from conftest import BENCH_SEED, run_once
+
+REQUESTS = 2500
+
+
+def _trace():
+    return generate_trace("Installing", seed=BENCH_SEED, num_requests=REQUESTS)
+
+
+def test_no_fault_path_keeps_kernel_throughput(benchmark):
+    """Inert plan must not drag replay below the sim-kernel floor."""
+    trace = _trace()
+
+    def replay():
+        return replay_with_faults(four_ps(), trace, FaultPlan.none())
+
+    result = run_once(benchmark, replay)
+    assert len(result.trace) == REQUESTS
+    seconds = benchmark.stats.stats.mean
+    rate = REQUESTS / seconds
+    print(f"\nno-fault replay: {REQUESTS} requests in {seconds:.3f}s "
+          f"({rate:,.0f} req/s)")
+    # The sim-kernel benchmark gates >1000 req/s; the inert fault path
+    # must stay within 5% of that floor.
+    assert rate > 950
+
+
+def test_active_plan_overhead_is_bounded(benchmark):
+    """Informational: a flaky-profile replay vs. the plain path."""
+    trace = _trace()
+
+    plain_device = EmmcDevice(four_ps())
+    import time
+
+    start = time.perf_counter()
+    Host(plain_device).replay(trace.without_timing())
+    plain_seconds = time.perf_counter() - start
+
+    def replay():
+        # Read faults only: a 2500-request write-heavy trace under the
+        # wearout rates would exhaust any realistic spare pool.
+        return replay_with_faults(
+            four_ps(), trace, FaultPlan.profile("transient-reads", seed=BENCH_SEED)
+        )
+
+    result = run_once(benchmark, replay)
+    assert result.stats.fault_events > 0
+    faulted_seconds = benchmark.stats.stats.mean
+    print(f"\nfaulted replay: {faulted_seconds:.3f}s vs plain "
+          f"{plain_seconds:.3f}s "
+          f"({faulted_seconds / plain_seconds:.2f}x)")
+    # Loose sanity bound: injection may cost real time (retry events,
+    # RNG draws) but never an order of magnitude.
+    assert faulted_seconds < plain_seconds * 10

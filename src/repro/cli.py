@@ -37,6 +37,17 @@ Subcommands::
         The ``stats`` table, computed out-of-core with the streaming
         summaries (one memory-mapped chunk resident at a time).
 
+    repro-trace store repair store-dir [--source trace.csv]
+        Detect and undo store damage: quarantine torn/corrupt chunks,
+        rebuild them from the source trace (checksum-verified), or
+        finalize a killed writer's store from its crash journal.
+
+    repro-trace faults APP [--profile NAME] [--seed N] [--requests N]
+                           [--power-loss-at EVENT]
+        Replay APP on the reference device under a seeded fault plan
+        (ECC retries, bad-block remapping, power loss + recovery) and
+        report the fault counters.
+
     repro-trace experiments [IDS ...] [--quick] [--jobs N] [--no-cache]
                             [--cache-dir DIR] ...
         Run the paper's experiments (same engine and flags as the
@@ -245,6 +256,58 @@ def _cmd_store_stats(args) -> int:
     return 0
 
 
+def _cmd_store_repair(args) -> int:
+    from repro.store import StoreError, repair
+
+    source = read_trace(args.source) if args.source else None
+    try:
+        report = repair(args.store, source=source)
+    except StoreError as error:
+        print(f"store repair: {error}", file=sys.stderr)
+        return 1
+    print(report.describe())
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    from repro.emmc import four_ps
+    from repro.faults import FaultPlan, replay_with_faults, stats_digest
+
+    plan = FaultPlan.profile(args.profile, seed=args.seed)
+    if args.power_loss_at is not None:
+        plan = plan.with_overrides(power_loss_at_event=args.power_loss_at)
+    trace = generate_trace(args.app, seed=args.seed, num_requests=args.requests)
+    result = replay_with_faults(four_ps(), trace, plan)
+    stats = result.stats
+    rows = [
+        ["Requests served", f"{len(result.trace):,}"],
+        ["Read retries (ECC)", f"{stats.read_retries:,}"],
+        ["Corrected reads", f"{stats.corrected_reads:,}"],
+        ["Uncorrectable reads", f"{stats.uncorrectable_reads:,}"],
+        ["Retry backoff (us)", f"{stats.read_retry_backoff_us:,.0f}"],
+        ["Program failures", f"{stats.program_failures:,}"],
+        ["Erase failures", f"{stats.erase_failures:,}"],
+        ["Bad blocks retired", f"{stats.bad_blocks_retired:,}"],
+        ["Spare blocks consumed", f"{stats.spare_blocks_consumed:,}"],
+        ["Remap-migrated slots", f"{stats.remap_migrated_slots:,}"],
+        ["Power-loss recoveries", f"{stats.recoveries:,}"],
+    ]
+    if result.recovery is not None:
+        rows += [
+            ["Power cut at (us)", f"{result.recovery.cut_us:,.0f}"],
+            ["Resumed at (us)", f"{result.recovery.resumed_us:,.0f}"],
+            ["Remapped entries", f"{result.recovery.remapped_entries:,}"],
+            ["Requests resubmitted", f"{result.resubmitted:,}"],
+        ]
+    rows.append(["Stats digest", stats_digest(stats)[:16]])
+    print(render_table(
+        ["Counter", "Value"],
+        rows,
+        title=f"Fault replay {args.app!r} (profile {args.profile!r}, seed {args.seed})",
+    ))
+    return 0
+
+
 def _cmd_experiments_argv(rest: List[str]) -> int:
     from repro.experiments.runner import main as experiments_main
 
@@ -327,6 +390,27 @@ def build_parser() -> argparse.ArgumentParser:
     sstats_cmd.add_argument("--chunk-rows", type=int, default=None,
                             help="re-chunk the stream (default: stored chunks)")
     sstats_cmd.set_defaults(fn=_cmd_store_stats)
+
+    repair_cmd = store_sub.add_parser(
+        "repair", help="quarantine/rebuild damaged chunks, finalize crashed writes"
+    )
+    repair_cmd.add_argument("store")
+    repair_cmd.add_argument("--source", default=None, metavar="TRACE.csv",
+                            help="original trace, for checksum-verified rebuilds")
+    repair_cmd.set_defaults(fn=_cmd_store_repair)
+
+    from repro.faults import PROFILES
+
+    faults = sub.add_parser(
+        "faults", help="replay an app under a seeded device fault plan"
+    )
+    faults.add_argument("app", choices=ALL_TRACES, metavar="APP")
+    faults.add_argument("--profile", choices=sorted(PROFILES), default="flaky")
+    faults.add_argument("--seed", type=int, default=20150614)
+    faults.add_argument("--requests", type=int, default=None)
+    faults.add_argument("--power-loss-at", type=int, default=None, metavar="EVENT",
+                        help="cut power before the EVENT-th kernel event, then recover")
+    faults.set_defaults(fn=_cmd_faults)
 
     experiments = sub.add_parser(
         "experiments",

@@ -11,7 +11,7 @@ from .configs import (
     small_hps,
     table_v_configs,
 )
-from .device import DeviceConfig, EmmcDevice, ReplayResult, build_device
+from .device import DeviceConfig, EmmcDevice, RecoveryReport, ReplayResult, build_device
 from .distributor import RequestDistributor
 from .energy import EnergyParams, EnergyReport, energy_report
 from .ftl import (
@@ -45,6 +45,7 @@ __all__ = [
     "table_v_configs",
     "DeviceConfig",
     "EmmcDevice",
+    "RecoveryReport",
     "ReplayResult",
     "build_device",
     "RequestDistributor",

@@ -59,6 +59,15 @@ class RamBuffer:
     def __len__(self) -> int:
         return len(self._pages)
 
+    def power_cycle(self) -> None:
+        """Drop the (volatile) contents on power loss; counters survive.
+
+        Dirty pages are simply gone -- the host's view of data loss from
+        an unflushed write-back buffer.  Hit/miss statistics are
+        replay-lifetime telemetry and are kept.
+        """
+        self._pages.clear()
+
     def read(self, lpns: List[int]) -> List[int]:
         """Touch cached pages; return the LPNs that missed.
 

@@ -113,15 +113,50 @@ class ReplayResult:
     config_name: str
 
 
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one :meth:`EmmcDevice.recover` power-cycle did."""
+
+    #: Simulated instant the power was cut (last fired event's time).
+    cut_us: float
+    #: Instant the device came back (cut + remount latency).
+    resumed_us: float
+    #: LPNs recovered by the FTL's flash scan (0 for FTLs without one).
+    remapped_entries: int
+
+
 class EmmcDevice:
     """Event-driven eMMC model (a light-weight SSD, per the paper)."""
 
-    def __init__(self, config: DeviceConfig, kernel: Optional[EventLoop] = None) -> None:
+    def __init__(
+        self,
+        config: DeviceConfig,
+        kernel: Optional[EventLoop] = None,
+        faults=None,
+    ) -> None:
         self.config = config
         self.geometry = config.geometry
         self.latency = config.latency
         for kind in self.geometry.kinds():
             self.latency.timing(kind)  # fail fast on missing latencies
+        # ``faults`` is a duck-typed :class:`repro.faults.plan.FaultPlan`
+        # (repro.emmc never imports the faults package -- it sits above).
+        # An inactive plan (FaultPlan.none()) is dropped on the floor here,
+        # so the no-fault device is structurally identical to one built
+        # with no plan at all: no injector, no stream, no extra branch
+        # taken anywhere in the replay path.
+        self.fault_plan = faults
+        self.faults = (
+            faults.injector() if faults is not None and faults.device_active else None
+        )
+        if self.faults is not None and (
+            self.faults.program_active or self.faults.erase_active
+        ):
+            if config.mapping_scheme != "page":
+                raise ValueError(
+                    "program/erase fault injection requires the page mapping "
+                    f"scheme (got {config.mapping_scheme!r})"
+                )
         if config.mapping_scheme == "page":
             self.ftl = Ftl(
                 self.geometry,
@@ -134,6 +169,7 @@ class EmmcDevice:
                     if config.static_wl_threshold is not None
                     else None
                 ),
+                faults=self.faults,
             )
         elif config.mapping_scheme == "hybrid-log":
             from .ftl.block_mapped import BlockMappedFtl
@@ -261,6 +297,60 @@ class EmmcDevice:
         """
         return Host(self).replay(trace)
 
+    # -- power-loss recovery -------------------------------------------------------
+
+    def recover(self, at_us: Optional[float] = None) -> RecoveryReport:
+        """Power-cycle the device: rebuild RAM state from flash, restart.
+
+        Models what a real eMMC does on the remount after an abrupt power
+        loss.  Everything volatile is discarded -- the event kernel (and
+        any in-flight arrivals/completions/timers on it), the admission
+        queue, the resource timelines, the RAM buffer's contents and the
+        controller's mapping table -- and the mapping is re-derived by
+        scanning flash (:meth:`Ftl.rebuild_mapping`).  Durable state
+        (block contents, erase counts, bad-block marks, spare accounting)
+        and replay-lifetime telemetry (``DeviceStats``, the fault
+        injector's stream cursors) survive.
+
+        ``at_us`` is the instant the device is back (defaults to the cut
+        instant, i.e. a free remount); callers add their remount latency.
+        The caller is responsible for re-arming any requests whose
+        ``ARRIVAL`` event had not fired -- see
+        :func:`repro.faults.replay.replay_with_faults`.
+        """
+        cut_us = self.kernel.now_us
+        resume_us = cut_us if at_us is None else at_us
+        if resume_us < cut_us:
+            raise ValueError(
+                f"cannot resume at {resume_us}us before the cut at {cut_us}us"
+            )
+        remapped = 0
+        rebuild = getattr(self.ftl, "rebuild_mapping", None)
+        if rebuild is not None:
+            remapped = rebuild()
+        if self.buffer is not None:
+            self.buffer.power_cycle()
+        self.kernel = EventLoop(
+            start_us=resume_us, record_events=self.kernel.record_events
+        )
+        self.queue = AdmissionQueue(self.config.queue_depth)
+        self.controller = ResourceTimeline("controller")
+        self.channels = ResourcePool(self.geometry.channels, "channel")
+        units = (
+            self.geometry.num_planes
+            if self.config.multi_plane
+            else self.geometry.num_dies
+        )
+        self.units = ResourcePool(units, "plane" if self.config.multi_plane else "die")
+        self._idle_gc_timer = None
+        self._power_down_timer = None
+        self.power.reset_for_recovery(resume_us)
+        self.stats.recoveries += 1
+        self._arm_activity_timers()
+        return RecoveryReport(
+            cut_us=cut_us, resumed_us=resume_us, remapped_entries=remapped
+        )
+
     # -- serving one request (runs at its ARRIVAL event) ---------------------------
 
     def _serve(self, request: Request) -> Request:
@@ -275,8 +365,21 @@ class EmmcDevice:
         self.queue.on_dispatch(finish)
         self.power.record_activity_end(finish)
         self.stats.wakeups = self.power.wakeups
+        if self.faults is not None:
+            self._sync_fault_stats()
         self._arm_activity_timers()
         return request.with_timing(service_start_us=dispatch, finish_us=finish)
+
+    def _sync_fault_stats(self) -> None:
+        """Mirror the FTL-side fault counters into the device stats."""
+        stats = self.stats
+        stats.program_failures = getattr(self.ftl, "program_failures", 0)
+        stats.erase_failures = getattr(getattr(self.ftl, "gc", None), "erase_failures", 0)
+        bad = getattr(self.ftl, "bad_blocks", None)
+        if bad is not None:
+            stats.bad_blocks_retired = bad.retired
+            stats.spare_blocks_consumed = bad.spares_consumed
+            stats.remap_migrated_slots = bad.migrated_slots
 
     def _account_idle(self, dispatch: float) -> None:
         """Split the idle gap before this dispatch into power states."""
@@ -375,8 +478,15 @@ class EmmcDevice:
             copyback = self.config.gc_copyback and op.gc
             if op.op_type is FlashOpType.READ:
                 _, die_end = self.units.reserve(die, issue, timing.read_us)
-                if copyback:
-                    # Data stays in the plane's page register.
+                uncorrectable = False
+                if self.faults is not None and self.faults.read_active:
+                    die_end, uncorrectable = self._inject_read_faults(
+                        die, die_end, timing
+                    )
+                if copyback or uncorrectable:
+                    # Copyback: data stays in the plane's page register.
+                    # Uncorrectable: there is no good data to transfer --
+                    # the command completes with an ECC error status.
                     op_finish = die_end
                 else:
                     transfer_start, transfer_end = self.channels.reserve(
@@ -409,6 +519,37 @@ class EmmcDevice:
             if op_finish > finish:
                 finish = op_finish
         return finish
+
+    def _inject_read_faults(self, die: int, die_end: float, timing):
+        """Bounded ECC-retry loop for one page read; returns (end, fatal).
+
+        Each failed attempt is retried after a linearly growing backoff
+        (``attempt * read_retry_backoff_us``), modeled as a fresh die
+        reservation plus a ``FAULT_RETRY`` kernel event at the retry's
+        start -- so retries are visible in the recorded event trace and
+        extend the request's service time through the ordinary timeline
+        arithmetic.  After ``read_retry_limit`` failed retries the read is
+        declared uncorrectable (the caller skips the data transfer).
+        """
+        failures = self.faults.read_failures()
+        if failures == 0:
+            return die_end, False
+        plan = self.faults.plan
+        retries = min(failures, plan.read_retry_limit)
+        for attempt in range(1, retries + 1):
+            backoff = attempt * plan.read_retry_backoff_us
+            start, die_end = self.units.reserve(die, die_end + backoff, timing.read_us)
+            self.kernel.schedule(
+                start, kind=EventKind.FAULT_RETRY, label=f"ecc-retry-{attempt}"
+            )
+            self.stats.read_retries += 1
+            self.stats.read_retry_backoff_us += backoff
+            self.stats.busy_read_us += timing.read_us
+        if failures > plan.read_retry_limit:
+            self.stats.uncorrectable_reads += 1
+            return die_end, True
+        self.stats.corrected_reads += 1
+        return die_end, False
 
     # -- idle/power timers (Implication 2 + Characteristic 4) -------------------------
 

@@ -1,6 +1,7 @@
 """Flash translation layer: mapping, allocation, GC, wear-leveling."""
 
 from .allocator import PageAllocator
+from .badblocks import BadBlockManager
 from .blocks import Block, OutOfSpaceError, Plane
 from .core import Ftl, ReadOutcome, WriteOutcome
 from .gc import GcResult, GreedyGC, VictimPolicy
@@ -9,6 +10,7 @@ from .wear_leveling import StaticWearLeveler, WearStats, collect_wear
 
 __all__ = [
     "PageAllocator",
+    "BadBlockManager",
     "Block",
     "OutOfSpaceError",
     "Plane",

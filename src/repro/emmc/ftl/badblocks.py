@@ -1,0 +1,123 @@
+"""Bad-block management: retirement, remap migration and the spare pool.
+
+Real eMMC parts ship with spare blocks and a bad-block table: when a
+program or erase operation fails, the controller migrates whatever valid
+data the failing block still holds, marks the block bad, and maps a spare
+into the pool in its place.  This module is that logic for the
+page-mapping FTL.
+
+Retirement order matters for boundedness:
+
+1. a spare is swapped in *first* (raising
+   :class:`~repro.faults.plan.SparePoolExhausted` when the per-plane
+   budget is gone), so the remap migration always has at least one free
+   block's worth of destination pages;
+2. the victim's valid slots are re-packed into fresh pages (same repack
+   as GC migration, ``gc=True`` ops so timing and counters attribute them
+   to background work);
+3. the victim is detached: never erased, never freed, skipped by GC and
+   wear-leveling from then on.
+
+Remap migration itself is fault-exempt: a victim holds at most one
+block's worth of valid slots and the fresh spare can absorb all of them,
+so exempting the migration programs keeps every retirement a bounded,
+always-terminating operation (the real-world analogue is the controller
+retrying migrations internally until they stick).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..geometry import PageKind
+from ..ops import FlashOp, FlashOpType
+from .blocks import Block, Plane
+from .mapping import PageMapping, PhysicalLocation
+
+
+class BadBlockManager:
+    """Spare-pool accounting and the retire-and-remap operation.
+
+    One manager per FTL.  ``spare_blocks_per_plane`` is the replacement
+    budget for each (plane, page-kind) pool; exhausting it models a
+    device at end of life, surfaced as ``SparePoolExhausted``.
+    """
+
+    def __init__(self, spare_blocks_per_plane: int) -> None:
+        self.spare_blocks_per_plane = spare_blocks_per_plane
+        self._spares_used: Dict[Tuple[int, PageKind], int] = {}
+        #: Counters mirrored into :class:`repro.emmc.stats.DeviceStats`.
+        self.retired = 0
+        self.spares_consumed = 0
+        self.migrated_slots = 0
+
+    def spares_remaining(self, plane: Plane, kind: PageKind) -> int:
+        """Spare blocks still available for this (plane, kind) pool."""
+        used = self._spares_used.get((plane.plane_id, kind), 0)
+        return self.spare_blocks_per_plane - used
+
+    def retire(
+        self,
+        plane: Plane,
+        kind: PageKind,
+        victim: Block,
+        allocator,
+        mapping: PageMapping,
+    ) -> List[FlashOp]:
+        """Swap in a spare, migrate ``victim``'s valid data, mark it bad.
+
+        Returns the flash ops of the remap migration (reads + programs of
+        the surviving slots).  The failing program/erase op itself is the
+        caller's to account -- it already consumed bus/die time.
+        """
+        # Importing lazily keeps repro.emmc importable without the faults
+        # package on the path (the dependency only exists at fault time).
+        from repro.faults.plan import SparePoolExhausted
+
+        key = (plane.plane_id, kind)
+        if self.spares_remaining(plane, kind) <= 0:
+            raise SparePoolExhausted(
+                f"plane {plane.plane_id} exhausted its {self.spare_blocks_per_plane} "
+                f"spare {kind} blocks"
+            )
+        self._spares_used[key] = self._spares_used.get(key, 0) + 1
+        self.spares_consumed += 1
+        plane.add_spare_block(kind)
+
+        # The victim may be the active block (a program just failed on
+        # it); detach it so migration never allocates into it.
+        if plane.active_block[kind] == victim.block_id:
+            plane.active_block[kind] = None
+
+        ops: List[FlashOp] = []
+        entries = victim.valid_entries()
+        pages_with_valid = sorted({page for page, _, _ in entries})
+        slot_bytes = kind.bytes // kind.slots
+        for page in pages_with_valid:
+            valid_here = sum(1 for p, _, _ in entries if p == page)
+            ops.append(
+                FlashOp(FlashOpType.READ, plane.plane_id, kind, valid_here * slot_bytes, gc=True)
+            )
+        lpns = [lpn for _, _, lpn in entries]
+        for start in range(0, len(lpns), kind.slots):
+            chunk = lpns[start : start + kind.slots]
+            padded = tuple(chunk) + (None,) * (kind.slots - len(chunk))
+            block, _ = allocator.allocate(plane, kind)
+            page_index = block.program(padded)
+            for slot, lpn in enumerate(padded):
+                if lpn is None:
+                    continue
+                old = mapping.update(
+                    lpn,
+                    PhysicalLocation(plane.plane_id, kind, block.block_id, page_index, slot),
+                )
+                if old is None or old.block_id != victim.block_id:
+                    raise RuntimeError("remap migrated an LPN that moved underneath it")
+            ops.append(FlashOp(FlashOpType.PROGRAM, plane.plane_id, kind, kind.bytes, gc=True))
+        for page, slot, _ in entries:
+            victim.invalidate(page, slot)
+
+        plane.retire_block(kind, victim.block_id)
+        self.retired += 1
+        self.migrated_slots += len(entries)
+        return ops

@@ -28,6 +28,11 @@ class Block:
     write_ptr: int = 0
     valid_count: int = 0
     slots: List[Tuple[Optional[int], ...]] = field(default_factory=list)
+    #: Retired by bad-block management (program/erase failure).  Bad
+    #: blocks stay in the pool list (ids are positions) but hold no valid
+    #: data, are never free, never active, never a GC victim, and are
+    #: excluded from wear statistics.
+    is_bad: bool = False
 
     @property
     def is_full(self) -> bool:
@@ -50,6 +55,8 @@ class Block:
         ``lpns`` must have exactly ``kind.slots`` entries; ``None`` entries
         are padding.  Returns the programmed page index.
         """
+        if self.is_bad:
+            raise RuntimeError(f"block {self.block_id} is retired (bad)")
         if self.is_full:
             raise RuntimeError(f"block {self.block_id} is full")
         if len(lpns) != self.kind.slots:
@@ -137,14 +144,53 @@ class Plane:
         return pool[block_id]
 
     def gc_candidates(self, kind: PageKind) -> List[Block]:
-        """Blocks eligible as GC victims: full, not free, not active."""
+        """Blocks eligible as GC victims: full, not free, not active, not bad."""
         free = set(self.free_blocks[kind])
         active = self.active_block[kind]
         return [
             block
             for block in self.blocks[kind]
-            if block.is_full and block.block_id not in free and block.block_id != active
+            if block.is_full
+            and not block.is_bad
+            and block.block_id not in free
+            and block.block_id != active
         ]
+
+    def add_spare_block(self, kind: PageKind) -> Block:
+        """Grow the pool with one fresh spare block (bad-block remap).
+
+        Block ids are positions in the pool list, so the spare is appended
+        with ``block_id == len(pool)`` and goes straight to the free list.
+        """
+        pool = self.blocks[kind]
+        if not pool:
+            raise ValueError(f"plane {self.plane_id} has no {kind} pool to grow")
+        spare = Block(
+            block_id=len(pool), kind=kind, pages_per_block=pool[0].pages_per_block
+        )
+        pool.append(spare)
+        self.free_blocks[kind].append(spare.block_id)
+        return spare
+
+    def retire_block(self, kind: PageKind, block_id: int) -> Block:
+        """Mark a block bad and detach it from free/active bookkeeping.
+
+        The caller must already have migrated (and invalidated) any valid
+        data; a retired block is never erased and never rejoins the pool.
+        """
+        block = self.blocks[kind][block_id]
+        if block.valid_count:
+            raise RuntimeError(
+                f"retiring block {block_id} with {block.valid_count} valid slots"
+            )
+        block.is_bad = True
+        try:
+            self.free_blocks[kind].remove(block_id)
+        except ValueError:
+            pass
+        if self.active_block[kind] == block_id:
+            self.active_block[kind] = None
+        return block
 
     def total_free_pages(self, kind: PageKind) -> int:
         """Pages still programmable without reclaiming anything."""

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..geometry import Geometry, PageKind
 from ..ops import FlashOp, FlashOpType, WriteGroup
 from .allocator import PageAllocator
+from .badblocks import BadBlockManager
 from .blocks import OutOfSpaceError, Plane
 from .gc import GcResult, GreedyGC
 from .mapping import PageMapping, PhysicalLocation, PRELOADED_BLOCK
@@ -53,6 +54,7 @@ class Ftl:
         gc: Optional[GreedyGC] = None,
         preload_kind: Optional[PageKind] = None,
         wear_leveler: Optional[StaticWearLeveler] = None,
+        faults=None,
     ) -> None:
         self.geometry = geometry
         self.planes: List[Plane] = [
@@ -70,6 +72,22 @@ class Ftl:
         self.wear_leveler = wear_leveler
         self.gc_results_total = 0
         self.gc_migrated_slots = 0
+        # Fault injection: ``faults`` is a duck-typed
+        # :class:`repro.faults.plan.FaultInjector` (no import -- the faults
+        # package sits above repro.emmc).  Kept only when the plan can
+        # actually fail a program or erase, so a no-fault FTL carries no
+        # injection state at all.
+        self.faults = (
+            faults
+            if faults is not None and (faults.program_active or faults.erase_active)
+            else None
+        )
+        self.bad_blocks: Optional[BadBlockManager] = None
+        self.program_failures = 0
+        if self.faults is not None:
+            self.bad_blocks = BadBlockManager(self.faults.plan.spare_blocks_per_plane)
+            self.gc.faults = self.faults
+            self.gc.bad_blocks = self.bad_blocks
 
     # -- write path ----------------------------------------------------------
 
@@ -81,7 +99,30 @@ class Ftl:
         flash_bytes = 0
         for group in groups:
             plane = self.allocator.next_plane()
-            block, _ = self._allocate_with_gc(plane, group.kind, ops, gc_results)
+            while True:
+                block, _ = self._allocate_with_gc(plane, group.kind, ops, gc_results)
+                if (
+                    self.faults is None
+                    or not self.faults.program_active
+                    or not self.faults.program_fails()
+                ):
+                    break
+                # Program failure: the attempt still consumed a program
+                # cycle (the op below), then the block is retired and the
+                # group redone on a freshly mapped block.  Each failure
+                # burns one spare, so the loop is bounded by the spare
+                # budget (SparePoolExhausted ends it).
+                self.program_failures += 1
+                ops.append(
+                    FlashOp(
+                        FlashOpType.PROGRAM, plane.plane_id, group.kind, group.kind.bytes
+                    )
+                )
+                ops.extend(
+                    self.bad_blocks.retire(
+                        plane, group.kind, block, self.allocator, self.mapping
+                    )
+                )
             page_index = block.program(group.lpns)
             for slot, lpn in enumerate(group.lpns):
                 if lpn is None:
@@ -211,6 +252,62 @@ class Ftl:
                         self.gc_results_total += 1
                         self.gc_migrated_slots += result.migrated_slots
         return results
+
+    # -- power-loss recovery ----------------------------------------------------
+
+    def rebuild_mapping(self) -> int:
+        """Rebuild the RAM mapping table by scanning flash (recovery path).
+
+        Power loss wipes the controller's RAM; block contents (the
+        ``slots`` arrays, which model programmed pages plus their
+        out-of-band validity) survive.  The scan re-derives the LPN table
+        from every non-bad block, recomputes each pool's active block (the
+        at-most-one partially written block outside the free list) and
+        resets the allocator's striping cursor.  Pre-loaded locations
+        (data that predates the trace) are deliberately dropped: they are
+        re-derived on demand by :meth:`_preload`, deterministically.
+
+        Returns the number of LPNs recovered.  Raises ``RuntimeError`` if
+        the scan finds an inconsistent image (an LPN valid in two places,
+        or two in-flight active blocks) -- states the event-granular
+        power-loss model can never produce.
+        """
+        mapping = PageMapping()
+        for plane in self.planes:
+            for kind, pool in plane.blocks.items():
+                for block in pool:
+                    if block.is_bad:
+                        continue
+                    for page, slot, lpn in block.valid_entries():
+                        if lpn in mapping:
+                            raise RuntimeError(
+                                f"recovery scan found LPN {lpn} valid twice"
+                            )
+                        mapping.update(
+                            lpn,
+                            PhysicalLocation(
+                                plane.plane_id, kind, block.block_id, page, slot
+                            ),
+                        )
+        self.mapping = mapping
+        for plane in self.planes:
+            for kind, pool in plane.blocks.items():
+                free = set(plane.free_blocks[kind])
+                partial = [
+                    block
+                    for block in pool
+                    if not block.is_bad
+                    and 0 < block.write_ptr < block.pages_per_block
+                    and block.block_id not in free
+                ]
+                if len(partial) > 1:
+                    raise RuntimeError(
+                        f"recovery scan found {len(partial)} in-flight blocks "
+                        f"in plane {plane.plane_id} {kind} pool"
+                    )
+                plane.active_block[kind] = partial[0].block_id if partial else None
+        self.allocator = PageAllocator(self.geometry, self.planes)
+        return len(mapping)
 
     # -- capacity accounting ----------------------------------------------------
 

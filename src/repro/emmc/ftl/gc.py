@@ -63,6 +63,12 @@ class GreedyGC:
         self.threshold_blocks = threshold_blocks
         self.policy = policy
         self._rng = random.Random(seed)
+        #: Fault injection (wired by the FTL when a plan enables erase
+        #: failures): a duck-typed :class:`repro.faults.plan.FaultInjector`
+        #: and the FTL's :class:`~repro.emmc.ftl.badblocks.BadBlockManager`.
+        self.faults = None
+        self.bad_blocks = None
+        self.erase_failures = 0
 
     def needs_gc(self, plane: Plane, kind: PageKind) -> bool:
         """Free pool at or below the threshold and something is reclaimable."""
@@ -144,8 +150,21 @@ class GreedyGC:
         # Invalidate the victim's now-stale slots and erase it.
         for page, slot, _ in entries:
             victim.invalidate(page, slot)
-        victim.erase()
-        plane.free_blocks[kind].append(victim.block_id)
+        if (
+            self.faults is not None
+            and self.faults.erase_active
+            and self.faults.erase_fails()
+        ):
+            # Erase failure: the block is retired (never rejoins the free
+            # pool) and a spare is swapped in.  The ERASE op below is still
+            # emitted -- the failed attempt consumed the die either way.
+            self.erase_failures += 1
+            ops.extend(
+                self.bad_blocks.retire(plane, kind, victim, allocator, mapping)
+            )
+        else:
+            victim.erase()
+            plane.free_blocks[kind].append(victim.block_id)
         ops.append(FlashOp(FlashOpType.ERASE, plane.plane_id, kind, 0, gc=True))
         return GcResult(ops=ops, migrated_slots=len(entries), erased_block=victim.block_id)
 

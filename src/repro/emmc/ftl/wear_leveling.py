@@ -65,9 +65,9 @@ class StaticWearLeveler:
         or ``None`` when the pool is even enough (or has no candidate).
         """
         pool = plane.blocks[kind]
-        if not pool:
+        erase_counts = [block.erase_count for block in pool if not block.is_bad]
+        if not erase_counts:
             return None
-        erase_counts = [block.erase_count for block in pool]
         if max(erase_counts) - min(erase_counts) < self.spread_threshold:
             return None
         candidates = plane.gc_candidates(kind)
@@ -86,7 +86,7 @@ def collect_wear(planes: Iterable[Plane]) -> WearStats:
     counts: List[int] = []
     for plane in planes:
         for pool in plane.blocks.values():
-            counts.extend(block.erase_count for block in pool)
+            counts.extend(block.erase_count for block in pool if not block.is_bad)
     if not counts:
         return WearStats(total_erases=0, max_erase=0, min_erase=0, mean_erase=0.0)
     return WearStats(

@@ -87,6 +87,18 @@ class PowerModel:
         self._low_power = False
         return penalty
 
+    def reset_for_recovery(self, at_us: float) -> None:
+        """A power-loss recovery finished at ``at_us``: restart ACTIVE.
+
+        The remount is activity, so the idle clock restarts from the
+        recovery instant (never moving backwards -- an eagerly accounted
+        finish beyond the cut still counts).  The cumulative counters
+        (wakeups, mode switches, low-power entries) survive: they are
+        replay-lifetime telemetry, not volatile state.
+        """
+        self._low_power = False
+        self._last_activity_end_us = max(self._last_activity_end_us, at_us)
+
     @property
     def is_low_power(self) -> bool:
         """Event-driven state: has a POWER_DOWN timer fired since activity?"""

@@ -54,6 +54,18 @@ class DeviceStats:
     cache_read_hits: int = 0
     cache_read_misses: int = 0
 
+    # Fault injection (all zero unless a FaultPlan is active).
+    read_retries: int = 0
+    corrected_reads: int = 0
+    uncorrectable_reads: int = 0
+    read_retry_backoff_us: float = 0.0
+    program_failures: int = 0
+    erase_failures: int = 0
+    bad_blocks_retired: int = 0
+    spare_blocks_consumed: int = 0
+    remap_migrated_slots: int = 0
+    recoveries: int = 0
+
     def record_op_counts(self, kind: PageKind, reads: int = 0, programs: int = 0) -> None:
         """Accumulate per-kind read/program counters."""
         if reads:
@@ -62,6 +74,17 @@ class DeviceStats:
             self.page_programs[kind] = self.page_programs.get(kind, 0) + programs
 
     # -- derived metrics -------------------------------------------------------
+
+    @property
+    def fault_events(self) -> int:
+        """Total injected faults observed (reads that needed correction,
+        uncorrectable reads, and failed programs/erases)."""
+        return (
+            self.corrected_reads
+            + self.uncorrectable_reads
+            + self.program_failures
+            + self.erase_failures
+        )
 
     @property
     def mean_response_ms(self) -> float:

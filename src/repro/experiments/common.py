@@ -201,7 +201,25 @@ def all_traces(
     return [cached_trace(name, seed, num_requests) for name in ALL_TRACES]
 
 
-def replay_on(config: DeviceConfig, trace: Trace) -> ReplayResult:
+#: Environment variable naming a fault profile (see
+#: :data:`repro.faults.PROFILES`) to thread through every experiment
+#: replay.  ``none``/unset leaves the replay path structurally unchanged
+#: (the CI golden-parity job runs with ``REPRO_FAULT_PROFILE=none`` to
+#: prove exactly that).
+FAULT_PROFILE_ENV = "REPRO_FAULT_PROFILE"
+
+
+def _fault_plan_from_env():
+    """The :class:`~repro.faults.FaultPlan` named by the environment, if any."""
+    profile = os.environ.get(FAULT_PROFILE_ENV)
+    if not profile:
+        return None
+    from repro.faults import FaultPlan
+
+    return FaultPlan.profile(profile)
+
+
+def replay_on(config: DeviceConfig, trace: Trace, faults=None) -> ReplayResult:
     """Replay ``trace`` open-loop on a brand-new device built from ``config``.
 
     This is the experiments' one front door to the device: a
@@ -210,13 +228,20 @@ def replay_on(config: DeviceConfig, trace: Trace) -> ReplayResult:
     take exactly the Host -> AdmissionQueue -> EmmcDevice path the rest
     of the codebase uses.
 
+    ``faults`` is an optional :class:`~repro.faults.FaultPlan`; when left
+    ``None`` it is sourced from ``$REPRO_FAULT_PROFILE``, so a whole
+    experiment sweep can be rerun under a fault profile without touching
+    any call site.  An inactive plan is dropped by the device itself.
+
     Columnar wiring: generated traces arrive here already carrying their
     struct-of-arrays view (adopted at synthesis time), and
     ``without_timing`` preserves it zero-copy for never-replayed traces,
     so the analysis kernels downstream of a replay never pay a
     Request-unpacking pass for the input side.
     """
-    return Host(EmmcDevice(config)).replay(trace.without_timing())
+    if faults is None:
+        faults = _fault_plan_from_env()
+    return Host(EmmcDevice(config, faults=faults)).replay(trace.without_timing())
 
 
 def replayed_individual(

@@ -1,0 +1,51 @@
+"""repro.faults: seeded, deterministic fault injection.
+
+Public surface:
+
+* :class:`FaultPlan` / :class:`FaultInjector` -- pure-data plans and the
+  named-stream draw cursors (:mod:`repro.faults.plan`).
+* :func:`replay_with_faults` / :func:`stats_digest` -- the replay harness
+  that cuts power, recovers the device and resumes
+  (:mod:`repro.faults.replay`).
+* torn-write / corruption injectors for the chunked trace store
+  (:mod:`repro.faults.store`).
+
+Layering: ``plan`` sits below ``repro.emmc`` and ``repro.store`` (they
+receive plans/injectors but never import this package); ``replay`` and
+``store`` sit above them.  The heavyweight exports are loaded lazily so
+``from repro.faults import FaultPlan`` does not drag in the device model.
+"""
+
+from .plan import PROFILES, FaultError, FaultInjector, FaultPlan, SparePoolExhausted
+
+__all__ = [
+    "PROFILES",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultReplayResult",
+    "SparePoolExhausted",
+    "StoreDamage",
+    "corrupt_chunk",
+    "replay_with_faults",
+    "stats_digest",
+    "tear_chunk",
+]
+
+_LAZY = {
+    "FaultReplayResult": "repro.faults.replay",
+    "replay_with_faults": "repro.faults.replay",
+    "stats_digest": "repro.faults.replay",
+    "StoreDamage": "repro.faults.store",
+    "corrupt_chunk": "repro.faults.store",
+    "tear_chunk": "repro.faults.store",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

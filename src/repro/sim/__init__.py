@@ -16,7 +16,7 @@ else depends on it.
 from .clock import SimClock, SimTimeError
 from .events import Event, EventKind
 from .host import Host, replay_trace
-from .loop import EventLoop, TracePoint
+from .loop import EventLoop, SimInterrupt, TracePoint
 from .queueing import AdmissionQueue
 from .resources import ResourcePool, ResourceTimeline
 
@@ -29,6 +29,7 @@ __all__ = [
     "ResourcePool",
     "ResourceTimeline",
     "SimClock",
+    "SimInterrupt",
     "SimTimeError",
     "TracePoint",
     "replay_trace",

@@ -41,6 +41,12 @@ class EventKind(enum.Enum):
     APP_OP = 3
     POWER_DOWN = 4
     GENERIC = 5
+    #: An ECC retry attempt starting after its backoff delay.  Scheduled
+    #: only when fault injection is active (see :mod:`repro.faults`), so
+    #: it never ties with -- or perturbs -- any fault-free event order;
+    #: its priority merely has to be deterministic, and "after GENERIC"
+    #: keeps every pre-fault tie-break table unchanged.
+    FAULT_RETRY = 6
 
     @property
     def priority(self) -> int:

@@ -31,6 +31,22 @@ from .events import Event, EventKind
 TracePoint = Tuple[float, int, int, str, str]
 
 
+class SimInterrupt(RuntimeError):
+    """The loop was cut (power loss) before firing its next event.
+
+    Raised by :meth:`EventLoop.step` / :meth:`EventLoop.run_until` when an
+    :meth:`EventLoop.interrupt_before` deadline is reached: exactly
+    ``processed`` events have fired and the next live event (if any) has
+    *not*.  The clock still reads the time of the last fired event, which
+    is the instant the simulated power was lost.
+    """
+
+    def __init__(self, processed: int, now_us: float) -> None:
+        super().__init__(f"simulation interrupted after {processed} events at {now_us}us")
+        self.processed = processed
+        self.now_us = now_us
+
+
 class EventLoop:
     """Deterministic discrete-event scheduler around a :class:`SimClock`."""
 
@@ -46,6 +62,9 @@ class EventLoop:
         self.cancellations = 0
         self.record_events = record_events
         self.event_trace: List[TracePoint] = []
+        #: Interrupt (power-loss) deadline: raise before firing event number
+        #: ``_interrupt_before`` (0-based count of processed events).
+        self._interrupt_before: Optional[int] = None
 
     # -- introspection -----------------------------------------------------------
 
@@ -107,6 +126,24 @@ class EventLoop:
         if not event.kind.is_timer:
             self._material_pending -= 1
 
+    def interrupt_before(self, event_count: int) -> None:
+        """Arm a power-loss cut before the ``event_count``-th fired event.
+
+        Once ``event_count`` events have been processed, the next attempt
+        to fire one raises :class:`SimInterrupt` instead.  ``0`` means the
+        very next event; counting is from loop creation (``processed``).
+        Disarm with ``interrupt_before(None)``.
+        """
+        if event_count is not None and event_count < 0:
+            raise ValueError("interrupt deadline must be non-negative")
+        self._interrupt_before = event_count
+
+    def _check_interrupt(self) -> None:
+        """Raise (and disarm) if the interrupt deadline has been reached."""
+        if self._interrupt_before is not None and self.processed >= self._interrupt_before:
+            self._interrupt_before = None
+            raise SimInterrupt(self.processed, self.clock.now_us)
+
     # -- processing --------------------------------------------------------------
 
     def _discard_canceled(self) -> None:
@@ -127,10 +164,15 @@ class EventLoop:
             event.callback(event)
 
     def step(self) -> bool:
-        """Fire the single next live event; False when nothing is pending."""
+        """Fire the single next live event; False when nothing is pending.
+
+        Raises :class:`SimInterrupt` when an armed
+        :meth:`interrupt_before` deadline is due and an event would fire.
+        """
         self._discard_canceled()
         if not self._heap:
             return False
+        self._check_interrupt()
         self._fire(heapq.heappop(self._heap))
         return True
 
@@ -145,6 +187,7 @@ class EventLoop:
             self._discard_canceled()
             if not self._heap or self._heap[0].time_us > time_us:
                 break
+            self._check_interrupt()
             self._fire(heapq.heappop(self._heap))
             fired += 1
         if time_us > self.clock.now_us:

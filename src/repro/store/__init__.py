@@ -16,6 +16,12 @@ the full trace).  Read side: :func:`open_store` returns a
 iteration, pruned range/mask selection and a ``to_trace()`` escape
 hatch.  Pair with :mod:`repro.streaming` for out-of-core analysis.
 
+Crash consistency: the writer journals flushed chunks
+(:class:`StoreJournal`, removed on clean close); :meth:`TraceStore.verify`
+re-hashes chunks into a :class:`StoreVerifyResult`; and :func:`repair`
+quarantines, rebuilds or finalizes damaged/half-written stores.  See
+``docs/fault-model.md`` for the repair workflow.
+
 See ``docs/trace-store.md`` for the on-disk layout and chunk-size
 guidance.
 """
@@ -24,33 +30,66 @@ from .format import (
     CHUNK_COLUMNS,
     COLUMN_DTYPES,
     DEFAULT_CHUNK_ROWS,
+    JOURNAL_FORMAT,
+    JOURNAL_NAME,
     MANIFEST_NAME,
+    QUARANTINE_SUFFIX,
     ROW_NBYTES,
     STORE_FORMAT,
     STORE_VERSION,
     chunk_filename,
 )
-from .manifest import ChunkInfo, StoreError, StoreManifest, read_manifest, write_manifest
-from .reader import TraceStore, open_store
-from .writer import StoreWriter, concat_columns, pack
+from .manifest import (
+    ChunkInfo,
+    StoreError,
+    StoreJournal,
+    StoreManifest,
+    journal_path,
+    read_journal,
+    read_manifest,
+    write_journal,
+    write_manifest,
+)
+from .reader import (
+    BadChunk,
+    StoreVerifyResult,
+    TraceStore,
+    open_store,
+    verify_chunk_file,
+)
+from .repair import RepairReport, repair
+from .writer import StoreWriter, concat_columns, pack, write_chunk_file
 
 __all__ = [
     "CHUNK_COLUMNS",
     "COLUMN_DTYPES",
     "DEFAULT_CHUNK_ROWS",
+    "JOURNAL_FORMAT",
+    "JOURNAL_NAME",
     "MANIFEST_NAME",
+    "QUARANTINE_SUFFIX",
     "ROW_NBYTES",
     "STORE_FORMAT",
     "STORE_VERSION",
     "chunk_filename",
+    "BadChunk",
     "ChunkInfo",
+    "RepairReport",
     "StoreError",
+    "StoreJournal",
     "StoreManifest",
+    "StoreVerifyResult",
+    "journal_path",
+    "read_journal",
     "read_manifest",
+    "repair",
+    "verify_chunk_file",
+    "write_journal",
     "write_manifest",
     "TraceStore",
     "open_store",
     "StoreWriter",
     "concat_columns",
     "pack",
+    "write_chunk_file",
 ]

@@ -39,6 +39,19 @@ STORE_VERSION = 1
 #: File name of the JSON manifest inside the store directory.
 MANIFEST_NAME = "manifest.json"
 
+#: File name of the writer's crash journal.  Present only while a
+#: :class:`~repro.store.writer.StoreWriter` is mid-stream (it is removed
+#: by ``close()``), so finding one next to chunk files -- without a
+#: manifest -- identifies a killed writer; ``repro.store.repair`` can
+#: finalize the store from it.
+JOURNAL_NAME = "manifest.partial.json"
+
+#: Manifest ``format`` marker of the crash journal.
+JOURNAL_FORMAT = "repro-trace-store-journal"
+
+#: Suffix appended to quarantined (corrupt/torn) chunk files by repair.
+QUARANTINE_SUFFIX = ".corrupt"
+
 #: Column order inside each chunk file (must match the write order).
 CHUNK_COLUMNS: Tuple[str, ...] = (
     "arrival_us",

@@ -30,6 +30,8 @@ from typing import Dict, List, Optional, Union
 
 from .format import (
     CHUNK_COLUMNS,
+    JOURNAL_FORMAT,
+    JOURNAL_NAME,
     MANIFEST_NAME,
     STORE_FORMAT,
     STORE_VERSION,
@@ -148,6 +150,91 @@ class StoreManifest:
                     f"{chunk.rows} rows x {len(CHUNK_COLUMNS)} columns"
                 )
         return manifest
+
+
+@dataclass
+class StoreJournal:
+    """The writer's crash journal: everything flushed so far.
+
+    Re-written atomically after every chunk flush and deleted on a clean
+    ``close()``, so its presence (without a manifest) marks a store whose
+    writer died mid-stream.  The journaled chunks were fully written and
+    checksummed *before* the journal entry, so repair can trust them
+    after re-hashing; any chunk file beyond the journal is a torn tail.
+    """
+
+    name: str
+    metadata: Dict[str, str] = field(default_factory=dict)
+    chunk_rows: int = 0
+    chunks: List[ChunkInfo] = field(default_factory=list)
+    arrival_sorted: bool = True
+
+    @property
+    def total_rows(self) -> int:
+        """Rows across every journaled (durable) chunk."""
+        return sum(chunk.rows for chunk in self.chunks)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "format": JOURNAL_FORMAT,
+            "version": STORE_VERSION,
+            "name": self.name,
+            "metadata": dict(self.metadata),
+            "columns": schema_as_json(),
+            "chunk_rows": self.chunk_rows,
+            "arrival_sorted": self.arrival_sorted,
+            "chunks": [chunk.as_dict() for chunk in self.chunks],
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "StoreJournal":
+        if raw.get("format") != JOURNAL_FORMAT:
+            raise StoreError(f"not a store journal: format={raw.get('format')!r}")
+        if raw.get("version") != STORE_VERSION:
+            raise StoreError(f"unsupported journal version {raw.get('version')!r}")
+        if raw.get("columns") != schema_as_json():
+            raise StoreError("journal column schema does not match this reader")
+        metadata_raw = raw.get("metadata") or {}
+        if not isinstance(metadata_raw, dict):
+            raise StoreError("journal metadata must be an object")
+        return cls(
+            name=str(raw.get("name", "trace")),
+            metadata={str(k): str(v) for k, v in metadata_raw.items()},
+            chunk_rows=int(raw.get("chunk_rows", 0)),  # type: ignore[arg-type]
+            chunks=[ChunkInfo.from_dict(entry) for entry in raw.get("chunks", [])],  # type: ignore[union-attr]
+            arrival_sorted=bool(raw.get("arrival_sorted", True)),
+        )
+
+
+def journal_path(store_dir: Union[str, Path]) -> Path:
+    """Path of the crash journal inside ``store_dir``."""
+    return Path(store_dir) / JOURNAL_NAME
+
+
+def write_journal(store_dir: Union[str, Path], journal: StoreJournal) -> Path:
+    """Atomically write the crash journal (temp + rename)."""
+    path = journal_path(store_dir)
+    temp = path.with_suffix(".json.tmp")
+    temp.write_text(journal.dumps())
+    os.replace(temp, path)
+    return path
+
+
+def read_journal(store_dir: Union[str, Path]) -> StoreJournal:
+    """Load and validate the crash journal of ``store_dir``."""
+    path = journal_path(store_dir)
+    if not path.is_file():
+        raise StoreError(f"no store journal at {store_dir!s} (missing {JOURNAL_NAME})")
+    try:
+        raw = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise StoreError(f"corrupt journal at {path!s}: {error}") from error
+    if not isinstance(raw, dict):
+        raise StoreError(f"corrupt journal at {path!s}: not a JSON object")
+    return StoreJournal.from_dict(raw)
 
 
 def manifest_path(store_dir: Union[str, Path]) -> Path:

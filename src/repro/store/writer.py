@@ -33,10 +33,50 @@ from .format import (
     CHUNK_COLUMNS,
     COLUMN_DTYPES,
     DEFAULT_CHUNK_ROWS,
+    JOURNAL_NAME,
     MANIFEST_NAME,
     chunk_filename,
 )
-from .manifest import ChunkInfo, StoreError, StoreManifest, write_manifest
+from .manifest import (
+    ChunkInfo,
+    StoreError,
+    StoreJournal,
+    StoreManifest,
+    journal_path,
+    write_journal,
+    write_manifest,
+)
+
+
+def write_chunk_file(path: Path, columns: TraceColumns) -> "ChunkInfo":
+    """Write one chunk file and return its manifest entry.
+
+    Columns go to disk in :data:`~repro.store.format.CHUNK_COLUMNS` order
+    while a SHA-256 is folded over the exact bytes written -- the one
+    byte-level writer shared by :class:`StoreWriter` and
+    :func:`repro.store.repair.repair` (so a rebuilt chunk is bit-identical
+    to the original pack's).
+    """
+    digest = hashlib.sha256()
+    nbytes = 0
+    with open(path, "wb") as handle:
+        for name in CHUNK_COLUMNS:
+            array = np.ascontiguousarray(
+                getattr(columns, name), dtype=np.dtype(COLUMN_DTYPES[name])
+            )
+            payload = array.tobytes()
+            digest.update(payload)
+            handle.write(payload)
+            nbytes += len(payload)
+    arrivals = columns.arrival_us
+    return ChunkInfo(
+        file=path.name,
+        rows=len(columns),
+        min_arrival_us=float(arrivals.min()),
+        max_arrival_us=float(arrivals.max()),
+        sha256=digest.hexdigest(),
+        nbytes=nbytes,
+    )
 
 
 def concat_columns(pieces: Sequence[TraceColumns]) -> TraceColumns:
@@ -91,14 +131,22 @@ class StoreWriter:
         #: Populated by :meth:`close`.
         self.manifest: Optional[StoreManifest] = None
         self.path.mkdir(parents=True, exist_ok=True)
-        existing = self.path / MANIFEST_NAME
-        if existing.exists():
+        manifest_file = self.path / MANIFEST_NAME
+        journal_file = self.path / JOURNAL_NAME
+        if manifest_file.exists() or journal_file.exists():
             if not overwrite:
+                what = (
+                    "a trace store"
+                    if manifest_file.exists()
+                    else "a crashed writer's journal (repair or overwrite it)"
+                )
                 raise StoreError(
-                    f"{self.path!s} already holds a trace store "
+                    f"{self.path!s} already holds {what} "
                     "(pass overwrite=True to replace it)"
                 )
-            existing.unlink()
+            for stale_meta in (manifest_file, journal_file):
+                if stale_meta.exists():
+                    stale_meta.unlink()
             for stale in sorted(self.path.glob("chunk-*.bin")):
                 stale.unlink()
 
@@ -153,29 +201,21 @@ class StoreWriter:
 
     def _flush_rows(self, rows: int) -> None:
         columns = self._take_rows(rows)
-        index = len(self._chunks)
-        file_name = chunk_filename(index)
-        digest = hashlib.sha256()
-        nbytes = 0
-        with open(self.path / file_name, "wb") as handle:
-            for name in CHUNK_COLUMNS:
-                array = np.ascontiguousarray(
-                    getattr(columns, name), dtype=np.dtype(COLUMN_DTYPES[name])
-                )
-                payload = array.tobytes()
-                digest.update(payload)
-                handle.write(payload)
-                nbytes += len(payload)
-        arrivals = columns.arrival_us
-        self._chunks.append(
-            ChunkInfo(
-                file=file_name,
-                rows=rows,
-                min_arrival_us=float(arrivals.min()),
-                max_arrival_us=float(arrivals.max()),
-                sha256=digest.hexdigest(),
-                nbytes=nbytes,
-            )
+        file_name = chunk_filename(len(self._chunks))
+        self._chunks.append(write_chunk_file(self.path / file_name, columns))
+        # Crash consistency: journal the chunks flushed so far (atomic
+        # replace, *after* the chunk file is durable).  A writer killed
+        # mid-stream leaves the journal plus possibly one torn chunk
+        # beyond it; ``repro.store.repair`` finalizes from there.
+        write_journal(
+            self.path,
+            StoreJournal(
+                name=self.name,
+                metadata=self.metadata,
+                chunk_rows=self.chunk_rows,
+                chunks=self._chunks,
+                arrival_sorted=self._sorted,
+            ),
         )
 
     # -- finalization ---------------------------------------------------------
@@ -198,6 +238,11 @@ class StoreWriter:
             arrival_sorted=self._sorted,
         )
         write_manifest(self.path, manifest)
+        # The manifest supersedes the journal; removing it keeps a packed
+        # directory byte-identical to pre-journal packs (and re-packs).
+        journal = journal_path(self.path)
+        if journal.exists():
+            journal.unlink()
         self._closed = True
         self.manifest = manifest
         return manifest

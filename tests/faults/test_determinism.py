@@ -1,0 +1,83 @@
+"""Fault injection must be bit-reproducible: same plan, same digests --
+across parallel worker counts, separate processes and hash seeds."""
+
+import subprocess
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.emmc import small_four_ps
+from repro.faults import FaultPlan, replay_with_faults, stats_digest
+from repro.trace import Op, Request, SECTOR, Trace
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: One plan per fault class, plus a kitchen-sink plan with a power loss.
+PLANS = [
+    FaultPlan(seed=101, read_error_rate=0.2),
+    FaultPlan(seed=102, program_error_rate=0.001, spare_blocks_per_plane=16),
+    FaultPlan(seed=103, erase_error_rate=0.05, spare_blocks_per_plane=16),
+    FaultPlan(
+        seed=104,
+        read_error_rate=0.05,
+        program_error_rate=0.0005,
+        erase_error_rate=0.01,
+        spare_blocks_per_plane=16,
+        power_loss_at_event=400,
+    ),
+]
+
+
+def _trace():
+    return Trace(
+        "det",
+        [
+            Request(
+                arrival_us=i * 25.0,
+                lba=(i % 700) * SECTOR,
+                size=2 * SECTOR,
+                op=Op.WRITE if i % 2 else Op.READ,
+            )
+            for i in range(800)
+        ],
+    )
+
+
+def _digest(plan_index: int) -> str:
+    plan = PLANS[plan_index]
+    result = replay_with_faults(small_four_ps(), _trace(), plan)
+    return stats_digest(result.stats)
+
+
+def _all_digests(jobs: int) -> list:
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(_digest, range(len(PLANS))))
+
+
+class TestDeterminism:
+    def test_jobs_1_vs_4_identical(self):
+        assert _all_digests(1) == _all_digests(4)
+
+    def test_digests_stable_across_hash_seeds(self):
+        script = (
+            "from tests.faults.test_determinism import _digest, PLANS;"
+            "print('\\n'.join(_digest(i) for i in range(len(PLANS))))"
+        )
+        outputs = set()
+        for hash_seed in ("0", "1", "2", "3"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": hash_seed},
+                cwd=str(REPO_ROOT),
+            )
+            outputs.add(proc.stdout.strip())
+        assert len(outputs) == 1
+        in_process = "\n".join(_digest(i) for i in range(len(PLANS)))
+        assert outputs == {in_process}
+
+    def test_digest_distinguishes_plans(self):
+        digests = [_digest(i) for i in range(len(PLANS))]
+        assert len(set(digests)) == len(PLANS)

@@ -1,0 +1,49 @@
+"""FaultPlan.none() parity: routing every experiment replay through the
+fault-aware device with an inert plan must not move a single bit of the
+published numbers."""
+
+import pytest
+
+from repro.emmc import EmmcDevice, small_four_ps
+from repro.experiments import fig3, runner
+from repro.experiments.common import FAULT_PROFILE_ENV, replay_on
+from repro.faults import FaultPlan
+from repro.sim import Host
+from repro.workloads import generate_trace
+
+GOLDEN_SEED = 20150614
+GOLDEN_REQUESTS = 120
+
+
+def _trace():
+    return generate_trace("Email", seed=GOLDEN_SEED, num_requests=GOLDEN_REQUESTS)
+
+
+class TestInertPlanParity:
+    def test_replay_on_with_none_profile_bit_identical(self, monkeypatch):
+        config = small_four_ps()
+        monkeypatch.delenv(FAULT_PROFILE_ENV, raising=False)
+        plain = replay_on(config, _trace())
+        monkeypatch.setenv(FAULT_PROFILE_ENV, "none")
+        inert = replay_on(config, _trace())
+        assert vars(plain.stats) == vars(inert.stats)
+        assert list(plain.trace) == list(inert.trace)
+
+    def test_explicit_none_plan_matches_no_plan(self):
+        config = small_four_ps()
+        plain = Host(EmmcDevice(config)).replay(_trace().without_timing())
+        inert = replay_on(config, _trace(), faults=FaultPlan.none())
+        assert vars(plain.stats) == vars(inert.stats)
+        assert list(plain.trace) == list(inert.trace)
+
+    def test_fig3_data_identical_under_none_profile(self, monkeypatch):
+        monkeypatch.delenv(FAULT_PROFILE_ENV, raising=False)
+        plain = fig3.run(seed=GOLDEN_SEED, num_requests=GOLDEN_REQUESTS)
+        monkeypatch.setenv(FAULT_PROFILE_ENV, "none")
+        inert = fig3.run(seed=GOLDEN_SEED, num_requests=GOLDEN_REQUESTS)
+        assert runner._jsonable(plain.data) == runner._jsonable(inert.data)
+
+    def test_unknown_profile_env_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PROFILE_ENV, "no-such-profile")
+        with pytest.raises(ValueError, match="no-such-profile"):
+            replay_on(small_four_ps(), _trace())

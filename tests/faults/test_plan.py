@@ -1,0 +1,123 @@
+"""The FaultPlan/FaultInjector contract: validation, named streams,
+profiles and draw determinism."""
+
+import numpy as np
+import pytest
+
+from repro.faults import PROFILES, FaultInjector, FaultPlan
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"read_error_rate": -0.1},
+            {"read_error_rate": 1.0},
+            {"program_error_rate": 1.5},
+            {"erase_error_rate": -1e-9},
+            {"read_retry_limit": -1},
+            {"read_retry_backoff_us": -5.0},
+            {"spare_blocks_per_plane": -1},
+            {"power_loss_at_event": -1},
+            {"power_loss_recovery_us": -1.0},
+        ],
+    )
+    def test_bad_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+    def test_none_is_inactive(self):
+        plan = FaultPlan.none()
+        assert not plan.device_active
+        assert not plan.read_active
+        assert not plan.program_active
+        assert not plan.erase_active
+
+    def test_any_rate_activates(self):
+        assert FaultPlan(read_error_rate=0.01).device_active
+        assert FaultPlan(program_error_rate=0.01).device_active
+        assert FaultPlan(erase_error_rate=0.01).device_active
+        # Power loss is driven by the replay harness, not device draws:
+        # a power-loss-only plan needs no injector inside the device.
+        assert not FaultPlan(power_loss_at_event=5).device_active
+
+    def test_with_overrides_returns_new_plan(self):
+        plan = FaultPlan.none(seed=9)
+        hot = plan.with_overrides(read_error_rate=0.5)
+        assert hot.read_error_rate == 0.5
+        assert hot.seed == 9
+        assert plan.read_error_rate == 0.0  # original untouched
+
+
+class TestProfiles:
+    def test_known_profiles_resolve(self):
+        for name in PROFILES:
+            plan = FaultPlan.profile(name, seed=3)
+            assert plan.seed == 3
+
+    def test_none_profile_is_inactive(self):
+        assert not FaultPlan.profile("none").device_active
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises((KeyError, ValueError)):
+            FaultPlan.profile("definitely-not-a-profile")
+
+
+class TestStreams:
+    def test_same_seed_same_label_same_sequence(self):
+        a = FaultPlan(seed=42).stream("read").random(100)
+        b = FaultPlan(seed=42).stream("read").random(100)
+        assert np.array_equal(a, b)
+
+    def test_different_labels_are_independent_streams(self):
+        a = FaultPlan(seed=42).stream("read").random(100)
+        b = FaultPlan(seed=42).stream("program").random(100)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1).stream("read").random(100)
+        b = FaultPlan(seed=2).stream("read").random(100)
+        assert not np.array_equal(a, b)
+
+    def test_stream_isolation_across_draw_counts(self):
+        """Draining one stream never shifts another stream's draws."""
+        fresh = FaultPlan(seed=7)
+        expected = fresh.stream("erase").random(10)
+        injector = FaultPlan(seed=7).injector()
+        for _ in range(1000):
+            injector.read_failures()  # exhaust the read stream
+        assert np.array_equal(injector._stream("erase").random(10), expected)
+
+
+class TestInjectorDraws:
+    def test_read_failures_bounded_by_limit(self):
+        plan = FaultPlan(seed=11, read_error_rate=0.9, read_retry_limit=3)
+        injector = plan.injector()
+        draws = [injector.read_failures() for _ in range(500)]
+        assert all(0 <= f <= plan.read_retry_limit + 1 for f in draws)
+        assert any(f == plan.read_retry_limit + 1 for f in draws)  # exhaustion happens
+        assert any(f == 0 for f in draws)
+
+    def test_injector_draws_are_deterministic(self):
+        plan = FaultPlan(seed=13, read_error_rate=0.3, program_error_rate=0.2)
+        a = plan.injector()
+        b = plan.injector()
+        assert [a.read_failures() for _ in range(200)] == [
+            b.read_failures() for _ in range(200)
+        ]
+        assert [a.program_fails() for _ in range(200)] == [
+            b.program_fails() for _ in range(200)
+        ]
+
+    def test_injector_type(self):
+        assert isinstance(FaultPlan.none().injector(), FaultInjector)
+
+    def test_zero_rate_never_fails(self):
+        injector = FaultPlan(seed=5).injector()
+        assert not any(injector.program_fails() for _ in range(100))
+        assert not any(injector.erase_fails() for _ in range(100))
+        assert all(injector.read_failures() == 0 for _ in range(100))
+
+    def test_describe_mentions_active_faults(self):
+        text = FaultPlan(seed=5, read_error_rate=0.25).describe()
+        assert "read" in text.lower()

@@ -1,0 +1,193 @@
+"""Store crash-consistency: torn writes from a killed writer process,
+deterministic corruption injectors, and the repair workflow."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.faults import FaultPlan, corrupt_chunk, tear_chunk
+from repro.store import (
+    QUARANTINE_SUFFIX,
+    StoreError,
+    StoreWriter,
+    journal_path,
+    open_store,
+    pack,
+    repair,
+)
+from repro.trace import Op, Request, SECTOR, Trace
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _trace(num=2000):
+    """Deterministic trace both parent and killed child can rebuild."""
+    return Trace(
+        "crashy",
+        [
+            Request(
+                arrival_us=i * 10.0,
+                lba=(i % 321) * SECTOR,
+                size=SECTOR,
+                op=Op.WRITE if i % 3 else Op.READ,
+            )
+            for i in range(num)
+        ],
+    )
+
+
+#: Child process: streams the same trace into a store, then dies with a
+#: torn chunk on disk and no manifest -- exactly what SIGKILL mid-write
+#: leaves behind.  ``os._exit`` skips every finalizer, including
+#: ``StoreWriter.close``.
+_KILLED_WRITER = """
+import os, sys
+sys.path.insert(0, "src")
+sys.path.insert(0, ".")
+from tests.faults.test_store_repair import _trace
+from repro.store import StoreWriter
+
+writer = StoreWriter(sys.argv[1], name="crashy", chunk_rows=500)
+columns = _trace().columns()
+writer.append_columns(columns.select(slice(0, 1250)))  # 2 chunks + 250 pending
+with open(os.path.join(sys.argv[1], "chunk-000002.bin"), "wb") as handle:
+    handle.write(b"\\x7f" * 137)  # torn third chunk, never journaled
+os._exit(9)
+"""
+
+
+def _kill_a_writer(store_dir: Path) -> None:
+    proc = subprocess.run(
+        [sys.executable, "-c", _KILLED_WRITER, str(store_dir)],
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 9, proc.stderr
+    assert journal_path(store_dir).is_file()
+    assert not (store_dir / "manifest.json").exists()
+
+
+def _same_bytes(a: Path, b: Path) -> bool:
+    names_a = sorted(p.name for p in a.iterdir())
+    names_b = sorted(p.name for p in b.iterdir())
+    if names_a != names_b:
+        return False
+    return all((a / n).read_bytes() == (b / n).read_bytes() for n in names_a)
+
+
+class TestKilledWriter:
+    def test_repair_with_source_completes_to_clean_pack(self, tmp_path):
+        crashed = tmp_path / "crashed"
+        _kill_a_writer(crashed)
+        clean = tmp_path / "clean"
+        pack(_trace(), clean, chunk_rows=500)
+
+        report = repair(crashed, source=_trace())
+        assert report.used_journal
+        assert "chunk-000002.bin" in report.quarantined  # the torn tail
+        assert report.total_rows == 2000
+        assert not journal_path(crashed).exists()
+        for leftover in crashed.glob("*" + QUARANTINE_SUFFIX):
+            leftover.unlink()
+        assert _same_bytes(clean, crashed)  # bit-identical to a clean pack
+
+    def test_repair_without_source_keeps_journaled_prefix(self, tmp_path):
+        crashed = tmp_path / "crashed"
+        _kill_a_writer(crashed)
+        report = repair(crashed)
+        assert report.used_journal
+        assert report.total_rows == 1000  # the two journaled chunks
+        store = open_store(crashed)
+        assert store.verify().ok
+        assert list(store.to_trace()) == list(_trace())[:1000]
+
+    def test_writer_refuses_crashed_directory_without_overwrite(self, tmp_path):
+        crashed = tmp_path / "crashed"
+        _kill_a_writer(crashed)
+        with pytest.raises(StoreError, match="journal"):
+            StoreWriter(crashed, name="again")
+        # overwrite=True clears the wreckage and works.
+        with StoreWriter(crashed, name="again", overwrite=True) as writer:
+            writer.append_trace(_trace(num=50))
+        assert open_store(crashed).verify().ok
+
+
+class TestInjectors:
+    def test_corrupt_chunk_is_seed_deterministic(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        pack(_trace(), a, chunk_rows=500)
+        pack(_trace(), b, chunk_rows=500)
+        damage_a = corrupt_chunk(a, FaultPlan(seed=77))
+        damage_b = corrupt_chunk(b, FaultPlan(seed=77))
+        assert damage_a == damage_b
+        assert damage_a.kind == "corrupt"
+
+    def test_corrupt_then_verify_then_repair(self, tmp_path):
+        store_dir = tmp_path / "store"
+        pack(_trace(), store_dir, chunk_rows=500)
+        damage = corrupt_chunk(store_dir, FaultPlan(seed=5))
+        result = open_store(store_dir).verify(strict=False)
+        assert [bad.file for bad in result.bad_chunks] == [damage.file]
+        report = repair(store_dir, source=_trace())
+        assert report.rebuilt == [damage.file]
+        assert (store_dir / (damage.file + QUARANTINE_SUFFIX)).is_file()
+        assert open_store(store_dir).verify().ok
+
+    def test_tear_chunk_truncates(self, tmp_path):
+        store_dir = tmp_path / "store"
+        pack(_trace(), store_dir, chunk_rows=500)
+        damage = tear_chunk(store_dir, chunk_index=-1)
+        assert damage.kind == "torn"
+        path = store_dir / damage.file
+        assert path.stat().st_size == damage.damaged_nbytes < damage.original_nbytes
+        result = open_store(store_dir).verify(strict=False)
+        assert result.bad_chunks[0].reason == "truncated"
+
+    def test_tail_tear_without_source_truncates_store(self, tmp_path):
+        store_dir = tmp_path / "store"
+        pack(_trace(), store_dir, chunk_rows=500)
+        tear_chunk(store_dir, chunk_index=-1)
+        report = repair(store_dir)
+        assert report.dropped_chunks  # tail dropped from the index
+        assert report.total_rows == 1500
+        assert open_store(store_dir).verify().ok
+
+    def test_mid_stream_damage_without_source_is_fatal(self, tmp_path):
+        store_dir = tmp_path / "store"
+        pack(_trace(), store_dir, chunk_rows=500)
+        tear_chunk(store_dir, chunk_index=0)
+        with pytest.raises(StoreError, match="mid-stream"):
+            repair(store_dir)
+
+    def test_wrong_source_is_rejected(self, tmp_path):
+        store_dir = tmp_path / "store"
+        pack(_trace(), store_dir, chunk_rows=500)
+        corrupt_chunk(store_dir, FaultPlan(seed=5))
+        other = Trace(
+            "other",
+            [
+                Request(arrival_us=i * 10.0, lba=0, size=SECTOR, op=Op.READ)
+                for i in range(2000)
+            ],
+        )
+        with pytest.raises(StoreError, match="checksum"):
+            repair(store_dir, source=other)
+
+    def test_repair_on_intact_store_is_a_no_op(self, tmp_path):
+        store_dir = tmp_path / "store"
+        pack(_trace(), store_dir, chunk_rows=500)
+        before = {p.name: p.read_bytes() for p in store_dir.iterdir()}
+        report = repair(store_dir)
+        assert not report.quarantined and not report.rebuilt
+        assert not report.dropped_chunks and not report.used_journal
+        after = {p.name: p.read_bytes() for p in store_dir.iterdir()}
+        assert before == after
+
+    def test_nothing_to_repair_from(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(StoreError, match="neither"):
+            repair(empty)

@@ -1,0 +1,114 @@
+"""Property-based hardening of the trace store's round-trip and
+integrity contracts.
+
+* pack -> open -> ``to_trace`` is the identity for arbitrary request
+  lists and arbitrary chunk sizes;
+* ``verify()`` catches *any* single flipped byte anywhere in any chunk
+  file and names the damaged chunk.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import StoreError, open_store, pack
+from repro.trace import Op, Request, SECTOR, Trace
+
+requests_strategy = st.lists(
+    st.builds(
+        Request,
+        arrival_us=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        lba=st.integers(min_value=0, max_value=2**20).map(lambda n: n * SECTOR),
+        size=st.integers(min_value=1, max_value=64).map(lambda n: n * SECTOR),
+        op=st.sampled_from([Op.READ, Op.WRITE]),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(requests=requests_strategy, chunk_rows=st.integers(min_value=1, max_value=80))
+@settings(max_examples=40, deadline=None)
+def test_pack_round_trip_is_identity(requests, chunk_rows):
+    trace = Trace("prop", requests, metadata={"k": "v"})
+    root = Path(tempfile.mkdtemp())
+    try:
+        pack(trace, root / "store", chunk_rows=chunk_rows)
+        restored = open_store(root / "store").to_trace()
+        assert restored.name == trace.name
+        assert restored.metadata == trace.metadata
+        assert list(restored) == list(trace)
+    finally:
+        shutil.rmtree(root)
+
+
+class TestVerifyCatchesEveryFlippedByte:
+    """Flip one byte at an arbitrary position; verify must notice."""
+
+    #: One store shared by every example -- the property quantifies over
+    #: damage positions, and each example restores the byte it flipped.
+    root = None
+    store_dir = None
+    layout = None  # [(path, nbytes, file_name), ...] in chunk order
+    total = 0
+
+    @classmethod
+    def setup_class(cls):
+        cls.root = Path(tempfile.mkdtemp())
+        cls.store_dir = cls.root / "store"
+        requests = [
+            Request(
+                arrival_us=i * 10.0,
+                lba=(i % 97) * SECTOR,
+                size=SECTOR,
+                op=Op.WRITE if i % 3 else Op.READ,
+            )
+            for i in range(900)
+        ]
+        pack(Trace("prop", requests), cls.store_dir, chunk_rows=250)
+        store = open_store(cls.store_dir)
+        cls.layout = [
+            (cls.store_dir / info.file, info.nbytes, info.file)
+            for info in store.chunk_infos
+        ]
+        cls.total = sum(nbytes for _, nbytes, _ in cls.layout)
+        assert len(cls.layout) > 1  # the property should span chunk files
+
+    @classmethod
+    def teardown_class(cls):
+        shutil.rmtree(cls.root)
+
+    def _locate(self, position):
+        for path, nbytes, file_name in self.layout:
+            if position < nbytes:
+                return path, position, file_name
+            position -= nbytes
+        raise AssertionError("position beyond store payload")
+
+    @given(position=st.integers(min_value=0), flip=st.integers(min_value=1, max_value=255))
+    @settings(max_examples=80, deadline=None)
+    def test_single_flipped_byte_is_caught(self, position, flip):
+        position %= self.total
+        path, offset, file_name = self._locate(position)
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            original = handle.read(1)[0]
+            handle.seek(offset)
+            handle.write(bytes([original ^ flip]))
+        try:
+            store = open_store(self.store_dir)
+            result = store.verify(strict=False)
+            assert not result.ok
+            assert [bad.file for bad in result.bad_chunks] == [file_name]
+            assert result.bad_chunks[0].reason == "corrupt"
+            with pytest.raises(StoreError, match="checksum mismatch"):
+                store.verify()
+        finally:
+            with open(path, "r+b") as handle:
+                handle.seek(offset)
+                handle.write(bytes([original]))
+        assert open_store(self.store_dir).verify().ok
