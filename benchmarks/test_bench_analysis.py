@@ -14,27 +14,27 @@ import time
 
 import numpy as np
 
-from repro.analysis.correlation import (
-    _reference_size_response_correlation,
-    size_response_correlation,
-)
+from repro.analysis.correlation import size_response_correlation
 from repro.analysis.distributions import (
-    _reference_interarrival_distribution,
-    _reference_response_distribution,
-    _reference_size_distribution,
     interarrival_distribution,
     response_distribution,
     size_distribution,
 )
-from repro.analysis.percentiles import (
-    _reference_response_percentiles_ms,
-    response_percentiles_ms,
-)
-from repro.analysis.size_stats import _reference_size_stats, size_stats
-from repro.analysis.timing_stats import _reference_timing_stats, timing_stats
+from repro.analysis.percentiles import response_percentiles_ms
+from repro.analysis.size_stats import size_stats
+from repro.analysis.timing_stats import timing_stats
 from repro.trace import Op, Request, SECTOR, Trace
 
 from conftest import run_once
+from tests.analysis.oracles import (
+    _reference_interarrival_distribution,
+    _reference_response_distribution,
+    _reference_response_percentiles_ms,
+    _reference_size_distribution,
+    _reference_size_response_correlation,
+    _reference_size_stats,
+    _reference_timing_stats,
+)
 
 #: Large enough that both sides are dominated by per-request work, small
 #: enough for CI (~100k requests, about half a full experiment run's total).

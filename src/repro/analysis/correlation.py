@@ -42,7 +42,7 @@ def _rank(values: np.ndarray) -> np.ndarray:
     are the positions where the sorted values change; each group of span
     ``[start, end)`` receives the rank ``(start + end - 1) / 2`` -- the
     same integer expression the scalar tie loop evaluated, so the float
-    ranks are bit-identical (see :func:`_reference_rank`).
+    ranks are bit-identical (oracle: ``tests/analysis/oracles.py``).
     """
     n = len(values)
     if n == 0:
@@ -57,21 +57,6 @@ def _rank(values: np.ndarray) -> np.ndarray:
     averaged = (group_starts + group_ends - 1) / 2.0
     ranks = np.empty(n, dtype=np.float64)
     ranks[order] = np.repeat(averaged, group_ends - group_starts)
-    return ranks
-
-
-def _reference_rank(values: np.ndarray) -> np.ndarray:
-    """Tie-loop implementation of :func:`_rank` (test oracle)."""
-    order = np.argsort(values, kind="mergesort")
-    ranks = np.empty(len(values), dtype=np.float64)
-    ranks[order] = np.arange(len(values), dtype=np.float64)
-    # Average ranks within tie groups.
-    sorted_values = values[order]
-    start = 0
-    for index in range(1, len(values) + 1):
-        if index == len(values) or sorted_values[index] != sorted_values[start]:
-            ranks[order[start:index]] = (start + index - 1) / 2.0
-            start = index
     return ranks
 
 
@@ -101,25 +86,6 @@ def size_response_correlation(trace: Trace, use_service: bool = False) -> SizeRe
     pearson = _safe_corrcoef(sizes, responses)
     return SizeResponseCorrelation(
         name=trace.name, spearman=spearman, pearson=pearson, samples=samples
-    )
-
-
-def _reference_size_response_correlation(
-    trace: Trace, use_service: bool = False
-) -> SizeResponseCorrelation:
-    """Request-loop implementation of :func:`size_response_correlation`."""
-    completed = [r for r in trace if r.completed]
-    sizes = np.array([r.size for r in completed], dtype=np.float64)
-    responses = np.array(
-        [r.service_us if use_service else r.response_us for r in completed],
-        dtype=np.float64,
-    )
-    if len(completed) < 2:
-        return SizeResponseCorrelation(trace.name, 0.0, 0.0, len(completed))
-    spearman = _safe_corrcoef(_reference_rank(sizes), _reference_rank(responses))
-    pearson = _safe_corrcoef(sizes, responses)
-    return SizeResponseCorrelation(
-        name=trace.name, spearman=spearman, pearson=pearson, samples=len(completed)
     )
 
 

@@ -4,11 +4,10 @@ Each figure is a per-application stacked histogram; here a distribution is
 a ``{bucket label: fraction}`` dict over the paper's bucket edges (see
 :mod:`repro.workloads.buckets`).
 
-All three distributions are computed columnar: the value vector comes
-straight from the trace's struct-of-arrays view (sizes, ``complete_us -
-arrival_us`` over the completed mask, ``np.diff`` of arrivals) and
-:func:`~repro.workloads.buckets.histogram` bins it vectorized.  The
-``_reference_*`` request-loop twins are the bit-identity oracles.
+Thin adapter: the three distribution kernels live in
+:mod:`repro.metrics.histograms` (one definition, three engines); the
+derived shares (Characteristics 2 and 6) stay here as whole-trace
+conveniences.
 """
 
 from __future__ import annotations
@@ -17,31 +16,35 @@ from typing import Dict
 
 import numpy as np
 
-from repro.trace import Trace, US_PER_MS
-from repro.workloads.buckets import (
-    INTERARRIVAL_BUCKETS_MS,
-    RESPONSE_BUCKETS_MS,
-    SIZE_BUCKETS,
-    _reference_histogram,
-    histogram,
+from repro.metrics.histograms import (
+    INTERARRIVAL_DISTRIBUTION,
+    RESPONSE_DISTRIBUTION,
+    SIZE_DISTRIBUTION,
 )
+from repro.trace import Trace, US_PER_MS
+
+__all__ = [
+    "size_distribution",
+    "response_distribution",
+    "interarrival_distribution",
+    "small_request_share",
+    "long_gap_share",
+]
 
 
 def size_distribution(trace: Trace) -> Dict[str, float]:
     """Fig. 4 / Fig. 7a: request size histogram (fractions per bucket)."""
-    return histogram(trace.columns().size, SIZE_BUCKETS)
+    return SIZE_DISTRIBUTION.batch(trace.columns())
 
 
 def response_distribution(trace: Trace) -> Dict[str, float]:
     """Fig. 5 / Fig. 7b: response-time histogram, for a replayed trace."""
-    columns = trace.columns()
-    values = columns.response_us[columns.completed_mask] / US_PER_MS
-    return histogram(values, RESPONSE_BUCKETS_MS)
+    return RESPONSE_DISTRIBUTION.batch(trace.columns())
 
 
 def interarrival_distribution(trace: Trace) -> Dict[str, float]:
     """Fig. 6 / Fig. 7c: inter-arrival-time histogram."""
-    return histogram(trace.columns().inter_arrival_us / US_PER_MS, INTERARRIVAL_BUCKETS_MS)
+    return INTERARRIVAL_DISTRIBUTION.batch(trace.columns())
 
 
 def small_request_share(trace: Trace) -> float:
@@ -55,31 +58,3 @@ def long_gap_share(trace: Trace, threshold_ms: float = 16.0) -> float:
     if not gaps.size:
         return 0.0
     return int(np.count_nonzero(gaps > threshold_ms * US_PER_MS)) / gaps.size
-
-
-# -- scalar reference oracles (kept for the vectorized-kernel test suite) -----
-
-
-def _reference_size_distribution(trace: Trace) -> Dict[str, float]:
-    return _reference_histogram([request.size for request in trace], SIZE_BUCKETS)
-
-
-def _reference_response_distribution(trace: Trace) -> Dict[str, float]:
-    values = [
-        request.response_us / US_PER_MS for request in trace if request.completed
-    ]
-    return _reference_histogram(values, RESPONSE_BUCKETS_MS)
-
-
-def _reference_interarrival_distribution(trace: Trace) -> Dict[str, float]:
-    arrivals = [r.arrival_us for r in trace.requests]
-    values = [(b - a) / US_PER_MS for a, b in zip(arrivals, arrivals[1:])]
-    return _reference_histogram(values, INTERARRIVAL_BUCKETS_MS)
-
-
-def _reference_long_gap_share(trace: Trace, threshold_ms: float = 16.0) -> float:
-    arrivals = [r.arrival_us for r in trace.requests]
-    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
-    if not gaps:
-        return 0.0
-    return sum(1 for gap in gaps if gap > threshold_ms * US_PER_MS) / len(gaps)

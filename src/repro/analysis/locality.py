@@ -1,100 +1,33 @@
 """Spatial and temporal locality, per the paper's definitions (Section III-C).
 
-* Spatial locality: the percentage of sequential request accesses over the
-  total number of requests.  "A sequential request access happens when the
-  starting address of the current request is next to the ending address of
-  its predecessor."
-* Temporal locality: the percentage of address hits out of the total number
-  of requests, where the hit count "is increased by one when an address is
-  re-accessed."
-
-Both measures are integer counts over the LBA column, so the vectorized
-kernels (shifted-array equality for spatial, ``np.unique`` for temporal)
-are exactly -- not approximately -- equal to the request-loop reference
-implementations retained as ``_reference_*`` oracles.
+Thin adapter: the kernels live in :mod:`repro.metrics.locality` (one
+definition, three engines); this module keeps the whole-trace
+convenience signatures the analysis layer has always offered.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Set
-
-import numpy as np
-
+from repro.metrics.locality import (
+    LOCALITIES,
+    Localities,
+    SPATIAL_LOCALITY,
+    TEMPORAL_LOCALITY,
+)
 from repro.trace import Trace
 
-
-@dataclass(frozen=True)
-class Localities:
-    """Measured localities of a trace, as fractions in [0, 1]."""
-
-    spatial: float
-    temporal: float
-
-    @property
-    def spatial_pct(self) -> float:
-        """Spatial locality as a percentage."""
-        return self.spatial * 100.0
-
-    @property
-    def temporal_pct(self) -> float:
-        """Temporal locality as a percentage."""
-        return self.temporal * 100.0
+__all__ = ["Localities", "measure", "spatial_locality", "temporal_locality"]
 
 
 def spatial_locality(trace: Trace) -> float:
     """Fraction of requests that start exactly at their predecessor's end."""
-    total = len(trace)
-    if total == 0:
-        return 0.0
-    columns = trace.columns()
-    lba, size = columns.lba, columns.size
-    sequential = int(np.count_nonzero(lba[1:] == lba[:-1] + size[:-1]))
-    return sequential / total
+    return SPATIAL_LOCALITY.batch(trace.columns())
 
 
 def temporal_locality(trace: Trace) -> float:
-    """Fraction of requests whose start address was accessed before.
-
-    The first occurrence of each distinct address is a miss and every
-    re-occurrence a hit, so ``hits = n - #distinct`` -- one ``np.unique``
-    instead of a per-request set walk.
-    """
-    total = len(trace)
-    if total == 0:
-        return 0.0
-    hits = total - int(np.unique(trace.columns().lba).size)
-    return hits / total
+    """Fraction of requests whose start address was accessed before."""
+    return TEMPORAL_LOCALITY.batch(trace.columns())
 
 
 def measure(trace: Trace) -> Localities:
     """Both localities in one pass-friendly call."""
-    return Localities(spatial=spatial_locality(trace), temporal=temporal_locality(trace))
-
-
-# -- scalar reference oracles (kept for the vectorized-kernel test suite) -----
-
-
-def _reference_spatial_locality(trace: Trace) -> float:
-    """Request-loop implementation of :func:`spatial_locality`."""
-    if len(trace) == 0:
-        return 0.0
-    sequential = sum(
-        1
-        for previous, current in zip(trace.requests, trace.requests[1:])
-        if current.lba == previous.end_lba
-    )
-    return sequential / len(trace)
-
-
-def _reference_temporal_locality(trace: Trace) -> float:
-    """Request-loop implementation of :func:`temporal_locality`."""
-    if len(trace) == 0:
-        return 0.0
-    seen: Set[int] = set()
-    hits = 0
-    for request in trace:
-        if request.lba in seen:
-            hits += 1
-        seen.add(request.lba)
-    return hits / len(trace)
+    return LOCALITIES.batch(trace.columns())

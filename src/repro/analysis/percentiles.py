@@ -45,20 +45,3 @@ def cdf(values: Sequence[float]) -> List[tuple]:
     ordered = sorted(values)
     n = len(ordered)
     return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
-
-
-# -- scalar reference oracles (kept for the vectorized-kernel test suite) -----
-
-
-def _reference_response_percentiles_ms(
-    trace: Trace, percentiles: Sequence[float] = DEFAULT_PERCENTILES
-) -> Dict[float, float]:
-    values = [r.response_us for r in trace if r.completed]
-    return _percentiles(values, percentiles)
-
-
-def _reference_service_percentiles_ms(
-    trace: Trace, percentiles: Sequence[float] = DEFAULT_PERCENTILES
-) -> Dict[float, float]:
-    values = [r.service_us for r in trace if r.completed]
-    return _percentiles(values, percentiles)

@@ -1,27 +1,16 @@
-"""Size-related trace characterization (Table III)."""
+"""Size-related trace characterization (Table III).
+
+Thin adapter: the kernel lives in :mod:`repro.metrics.size` (one
+definition, three engines); this module keeps the whole-trace
+convenience signature the analysis layer has always offered.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.metrics.size import SIZE_STATS, SizeStats
+from repro.trace import Trace
 
-import numpy as np
-
-from repro.trace import KIB, Trace
-
-
-@dataclass(frozen=True)
-class SizeStats:
-    """The measured counterpart of one Table III row."""
-
-    name: str
-    data_size_kib: float
-    num_requests: int
-    max_size_kib: float
-    avg_size_kib: float
-    avg_read_kib: float
-    avg_write_kib: float
-    write_req_pct: float
-    write_size_pct: float
+__all__ = ["SizeStats", "size_stats"]
 
 
 def size_stats(trace: Trace) -> SizeStats:
@@ -29,53 +18,5 @@ def size_stats(trace: Trace) -> SizeStats:
 
     Averages over an empty class (e.g. a trace with no reads) are reported
     as 0, mirroring how a column would be blank in the paper's table.
-
-    All reductions here are exact integer sums/counts over the ``size``
-    column, so this columnar kernel is bit-identical to the request-loop
-    reference (:func:`_reference_size_stats`); the final per-column
-    divisions repeat the reference's scalar expressions verbatim.
     """
-    total_requests = len(trace)
-    if total_requests == 0:
-        return SizeStats(trace.name, 0.0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
-    columns = trace.columns()
-    size = columns.size
-    write_mask = columns.write_mask
-    total = int(size.sum())
-    written = int(size[write_mask].sum())
-    num_writes = int(np.count_nonzero(write_mask))
-    num_reads = total_requests - num_writes
-    read_total = total - written
-    return SizeStats(
-        name=trace.name,
-        data_size_kib=total / KIB,
-        num_requests=total_requests,
-        max_size_kib=int(size.max()) / KIB,
-        avg_size_kib=total / total_requests / KIB,
-        avg_read_kib=(read_total / num_reads / KIB) if num_reads else 0.0,
-        avg_write_kib=(written / num_writes / KIB) if num_writes else 0.0,
-        write_req_pct=100.0 * num_writes / total_requests,
-        write_size_pct=100.0 * written / total if total else 0.0,
-    )
-
-
-def _reference_size_stats(trace: Trace) -> SizeStats:
-    """Request-loop implementation of :func:`size_stats` (test oracle)."""
-    if len(trace) == 0:
-        return SizeStats(trace.name, 0.0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
-    sizes = [request.size for request in trace]
-    read_sizes = [request.size for request in trace if request.is_read]
-    write_sizes = [request.size for request in trace if request.is_write]
-    total = sum(sizes)
-    written = sum(write_sizes)
-    return SizeStats(
-        name=trace.name,
-        data_size_kib=total / KIB,
-        num_requests=len(trace),
-        max_size_kib=max(sizes) / KIB,
-        avg_size_kib=total / len(sizes) / KIB,
-        avg_read_kib=(sum(read_sizes) / len(read_sizes) / KIB) if read_sizes else 0.0,
-        avg_write_kib=(written / len(write_sizes) / KIB) if write_sizes else 0.0,
-        write_req_pct=100.0 * len(write_sizes) / len(sizes),
-        write_size_pct=100.0 * written / total if total else 0.0,
-    )
+    return SIZE_STATS.batch(trace.columns(), trace.name)

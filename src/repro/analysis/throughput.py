@@ -13,9 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-import numpy as np
-
-from repro.trace import KIB, MIB, Op, OP_WRITE, Request, SECTOR, US_PER_S, sequential_sum
+from repro.trace import KIB, MIB, Op, Request, US_PER_S
 from repro.emmc.device import DeviceConfig, EmmcDevice
 
 #: Fig. 3's x axis, bytes.  Reads stop at 256 KB ("the largest size of a
@@ -91,45 +89,10 @@ def trace_throughput_by_size(traces, op: Op) -> Dict[int, float]:
 
     For every request size found in replayed ``traces``, the average rate
     (size / response time) over all requests of that size and type, MB/s.
-
-    Columnar: sizes/rates of the eligible requests are concatenated in
-    trace order, then each size class is reduced with an in-order
-    :func:`~repro.trace.sequential_sum` -- exactly the accumulation order
-    the reference dict loop (:func:`_reference_trace_throughput_by_size`)
-    performs, so the per-size means are bit-identical.
+    Thin adapter over the registered per-op metric in
+    :mod:`repro.metrics.throughput`.
     """
-    op_code = OP_WRITE if op is Op.WRITE else 0
-    size_chunks: List[np.ndarray] = []
-    rate_chunks: List[np.ndarray] = []
-    for trace in traces:
-        columns = trace.columns()
-        response = columns.response_us
-        with np.errstate(invalid="ignore"):
-            eligible = (columns.op == op_code) & columns.completed_mask & (response > 0)
-        size_chunks.append(columns.size[eligible])
-        rate_chunks.append(columns.size[eligible] / response[eligible])
-    if not size_chunks:
-        return {}
-    sizes = np.concatenate(size_chunks)
-    rates = np.concatenate(rate_chunks)
-    result: Dict[int, float] = {}
-    for size in np.unique(sizes):
-        group = rates[sizes == size]
-        result[int(size)] = sequential_sum(group) / int(group.size)
-    return result
+    from repro.metrics.throughput import THROUGHPUT_BY_SIZE_READ, THROUGHPUT_BY_SIZE_WRITE
 
-
-def _reference_trace_throughput_by_size(traces, op: Op) -> Dict[int, float]:
-    """Request-loop implementation of :func:`trace_throughput_by_size`."""
-    sums: Dict[int, float] = {}
-    counts: Dict[int, int] = {}
-    for trace in traces:
-        for request in trace:
-            if request.op is not op or not request.completed:
-                continue
-            if request.response_us <= 0:
-                continue
-            rate = request.size / request.response_us  # bytes/us == MB/s
-            sums[request.size] = sums.get(request.size, 0.0) + rate
-            counts[request.size] = counts.get(request.size, 0) + 1
-    return {size: sums[size] / counts[size] for size in sorted(sums)}
+    metric = THROUGHPUT_BY_SIZE_WRITE if op is Op.WRITE else THROUGHPUT_BY_SIZE_READ
+    return metric.batch_traces([trace.columns() for trace in traces])

@@ -1,30 +1,16 @@
-"""Timing-related trace characterization (Table IV)."""
+"""Timing-related trace characterization (Table IV).
+
+Thin adapter: the kernel lives in :mod:`repro.metrics.timing` (one
+definition, three engines); this module keeps the whole-trace
+convenience signature the analysis layer has always offered.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.metrics.timing import TIMING_STATS, TimingStats
+from repro.trace import Trace
 
-import numpy as np
-
-from repro.trace import Trace, US_PER_MS, sequential_sum
-
-from .locality import measure as measure_localities
-
-
-@dataclass(frozen=True)
-class TimingStats:
-    """The measured counterpart of one Table IV row."""
-
-    name: str
-    duration_s: float
-    arrival_rate: float
-    access_rate_kib_s: float
-    nowait_pct: float
-    mean_service_ms: float
-    mean_response_ms: float
-    spatial_locality_pct: float
-    temporal_locality_pct: float
-    mean_interarrival_ms: float
+__all__ = ["TimingStats", "timing_stats"]
 
 
 def timing_stats(trace: Trace) -> TimingStats:
@@ -34,75 +20,5 @@ def timing_stats(trace: Trace) -> TimingStats:
     trace that was replayed on an :class:`~repro.emmc.device.EmmcDevice`
     (they are reported as 0 for an un-replayed trace, like the localities
     of an empty trace).
-
-    The columnar kernel reproduces the request-loop reference
-    (:func:`_reference_timing_stats`) bit for bit: time differences are
-    the same element-wise IEEE operations, counts are exact, and every
-    float mean uses :func:`~repro.trace.sequential_sum` (left-to-right,
-    exactly like ``sum()``) before repeating the reference's scalar
-    divisions.
     """
-    localities = measure_localities(trace)
-    columns = trace.columns()
-    gaps = columns.inter_arrival_us
-    mean_gap_ms = (
-        (sequential_sum(gaps) / gaps.size / US_PER_MS) if gaps.size else 0.0
-    )
-    completed_mask = columns.completed_mask
-    num_completed = int(np.count_nonzero(completed_mask))
-    if num_completed:
-        wait = columns.wait_us[completed_mask]
-        nowait = int(np.count_nonzero(wait <= 1e-6))
-        nowait_pct = 100.0 * nowait / num_completed
-        mean_service_ms = (
-            sequential_sum(columns.service_us[completed_mask]) / num_completed / US_PER_MS
-        )
-        mean_response_ms = (
-            sequential_sum(columns.response_us[completed_mask]) / num_completed / US_PER_MS
-        )
-    else:
-        nowait_pct = mean_service_ms = mean_response_ms = 0.0
-    return TimingStats(
-        name=trace.name,
-        duration_s=trace.duration_s,
-        arrival_rate=trace.arrival_rate(),
-        access_rate_kib_s=trace.access_rate_kib_s(),
-        nowait_pct=nowait_pct,
-        mean_service_ms=mean_service_ms,
-        mean_response_ms=mean_response_ms,
-        spatial_locality_pct=localities.spatial_pct,
-        temporal_locality_pct=localities.temporal_pct,
-        mean_interarrival_ms=mean_gap_ms,
-    )
-
-
-def _reference_timing_stats(trace: Trace) -> TimingStats:
-    """Request-loop implementation of :func:`timing_stats` (test oracle)."""
-    from .locality import _reference_spatial_locality, _reference_temporal_locality, Localities
-
-    localities = Localities(
-        spatial=_reference_spatial_locality(trace),
-        temporal=_reference_temporal_locality(trace),
-    )
-    completed = [request for request in trace if request.completed]
-    arrivals = [r.arrival_us for r in trace.requests]
-    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
-    mean_gap_ms = (sum(gaps) / len(gaps) / US_PER_MS) if gaps else 0.0
-    if completed:
-        nowait_pct = 100.0 * sum(1 for r in completed if r.no_wait) / len(completed)
-        mean_service_ms = sum(r.service_us for r in completed) / len(completed) / US_PER_MS
-        mean_response_ms = sum(r.response_us for r in completed) / len(completed) / US_PER_MS
-    else:
-        nowait_pct = mean_service_ms = mean_response_ms = 0.0
-    return TimingStats(
-        name=trace.name,
-        duration_s=trace.duration_s,
-        arrival_rate=trace.arrival_rate(),
-        access_rate_kib_s=trace.access_rate_kib_s(),
-        nowait_pct=nowait_pct,
-        mean_service_ms=mean_service_ms,
-        mean_response_ms=mean_response_ms,
-        spatial_locality_pct=localities.spatial_pct,
-        temporal_locality_pct=localities.temporal_pct,
-        mean_interarrival_ms=mean_gap_ms,
-    )
+    return TIMING_STATS.batch(trace.columns(), trace.name)

@@ -19,8 +19,15 @@ Subcommands::
     repro-trace convert blkparse.txt -o trace.csv
         Convert Linux blkparse text output into the repro CSV format.
 
-    repro-trace stats trace.csv
+    repro-trace stats trace.csv [--engine {batch,streaming}]
         Print the Table III / Table IV style statistics of a trace file.
+        Both engines produce byte-identical tables (the metric-layer
+        contract); ``--engine streaming`` folds the trace chunk by chunk
+        through the same registry metrics the batch kernels use.
+
+    repro-trace metrics list
+        Show the metric registry: one definition per statistic, with its
+        execution engines and cross-chunk carry state.
 
     repro-trace store pack trace.csv -o store-dir [--chunk-rows N]
     repro-trace store pack --app Twitter -o store-dir [--requests N]
@@ -154,7 +161,43 @@ def _stats_table(name: str, sizes, timing, completed: bool) -> str:
 
 def _cmd_stats(args) -> int:
     trace = read_trace(args.trace)
-    print(_stats_table(trace.name, size_stats(trace), timing_stats(trace), trace.completed))
+    if args.engine == "streaming":
+        from repro.streaming import StreamingTraceSummary, chunked
+
+        summary = StreamingTraceSummary(collapse=True)
+        for chunk in chunked(trace.columns(), 65536):
+            summary.update(chunk)
+        completed = summary.timing.completed
+        result = summary.finalize(trace.name)
+        sizes, timing = result.size, result.timing
+    else:
+        sizes, timing = size_stats(trace), timing_stats(trace)
+        completed = trace.completed
+    # The table itself is byte-identical across engines (asserted in
+    # tests/test_cli.py); the engine note goes to stderr so it never
+    # perturbs stdout comparisons.
+    print(f"[engine: {args.engine}]", file=sys.stderr)
+    print(_stats_table(trace.name, sizes, timing, completed))
+    return 0
+
+
+def _cmd_metrics_list(_args) -> int:
+    from repro.metrics import all_metrics
+
+    rows = [
+        [
+            metric.name,
+            ", ".join(metric.engines),
+            ", ".join(metric.carry_fields) or "-",
+            metric.value_doc,
+        ]
+        for metric in all_metrics()
+    ]
+    print(render_table(
+        ["Metric", "Engines", "Carry state", "Value"],
+        rows,
+        title="Metric registry (one definition per statistic)",
+    ))
     return 0
 
 
@@ -252,6 +295,7 @@ def _cmd_store_stats(args) -> int:
         summary.update(chunk)
     completed = summary.timing.completed
     result = summary.finalize(store.name)
+    print("[engine: streaming (out-of-core)]", file=sys.stderr)
     print(_stats_table(store.name, result.size, result.timing, completed))
     return 0
 
@@ -350,7 +394,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="print statistics of a trace CSV")
     stats.add_argument("trace")
+    stats.add_argument("--engine", choices=("batch", "streaming"), default="batch",
+                       help="execution engine; both print byte-identical tables")
     stats.set_defaults(fn=_cmd_stats)
+
+    metrics = sub.add_parser("metrics", help="inspect the metric registry")
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+    metrics_list = metrics_sub.add_parser(
+        "list", help="show every registered metric and its engines"
+    )
+    metrics_list.set_defaults(fn=_cmd_metrics_list)
 
     store = sub.add_parser("store", help="chunked columnar trace stores")
     store_sub = store.add_subparsers(dest="store_command", required=True)

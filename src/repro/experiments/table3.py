@@ -1,13 +1,12 @@
 """Table III: size-related characteristics of the 25 traces.
 
-The experiment shards into one unit per trace.  Each worker folds its
-trace's columns chunk by chunk through
-:class:`~repro.streaming.StreamingSizeStats` -- the mergeable streaming
-counterpart of :func:`~repro.analysis.size_stats` -- and ships the
-summary (a handful of integers) back instead of the trace.  ``merge``
-finalizes the summaries in paper order; because the streaming fold is
-bit-identical to the batch kernel, sharded output matches the serial
-path byte for byte.
+The experiment shards into one unit per trace.  Each worker resolves the
+``size_stats`` metric from the registry (:mod:`repro.metrics.registry`)
+and folds its trace's columns chunk by chunk through the metric's
+sharded engine, shipping the state (a handful of integers) back instead
+of the trace.  ``merge`` finalizes the states in paper order; the
+registry contract guarantees the fold is bit-identical to the batch
+kernel, so sharded output matches the serial path byte for byte.
 """
 
 from __future__ import annotations
@@ -15,8 +14,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.analysis import render_table
-from repro.analysis.size_stats import SizeStats
-from repro.streaming import StreamingSizeStats, chunked
+from repro.metrics import chunked, get_metric
+from repro.metrics.size import SizeStats, SizeStatsState
 from repro.workloads import ALL_TRACES, DEFAULT_SEED, TABLE_III
 
 from .common import ExperimentResult, cached_trace
@@ -24,6 +23,9 @@ from .spec import ExperimentSpec, ShardPlan
 
 #: Rows folded per streaming step inside a shard worker.
 SHARD_CHUNK_ROWS = 16384
+
+#: The one metric this experiment reports.
+METRIC_NAME = "size_stats"
 
 
 def _row(stats: SizeStats) -> list:
@@ -44,13 +46,14 @@ def _row(stats: SizeStats) -> list:
 
 def compute_shard(
     unit: str, seed: int = DEFAULT_SEED, num_requests: Optional[int] = None
-) -> StreamingSizeStats:
-    """One trace's streaming size summary (integers only -- tiny payload)."""
+) -> SizeStatsState:
+    """One trace's streaming size state (integers only -- tiny payload)."""
     trace = cached_trace(unit, seed=seed, num_requests=num_requests)
-    summary = StreamingSizeStats()
+    metric = get_metric(METRIC_NAME)
+    state = metric.init()
     for chunk in chunked(trace.columns(), SHARD_CHUNK_ROWS):
-        summary.update(chunk)
-    return summary
+        metric.update(state, chunk)
+    return state
 
 
 def merge(
@@ -60,10 +63,11 @@ def merge(
 ) -> ExperimentResult:
     """Finalize the per-trace summaries into Table III (paper order)."""
     del seed, num_requests  # assembly is a pure function of the payloads
+    metric = get_metric(METRIC_NAME)
     rows = []
     measured = {}
     for name in ALL_TRACES:
-        stats = payloads[name].finalize(name)
+        stats = metric.finalize(payloads[name], name)
         measured[name] = stats
         rows.append(_row(stats))
     table = render_table(

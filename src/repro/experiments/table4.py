@@ -6,13 +6,13 @@ the trace-intrinsic columns (rates, localities) come from the traces
 themselves.
 
 The experiment shards into one unit per trace: each worker runs its
-closed-loop collection, folds the replayed trace chunk by chunk through
-:class:`~repro.streaming.StreamingTimingStats` (the mergeable streaming
-counterpart of :func:`~repro.analysis.timing_stats`, with O(1) float
-state), and ships the summary back instead of the replayed requests.
-``merge`` finalizes in paper order; the streaming fold is bit-identical
-to the batch kernel, so sharded output matches the serial path byte for
-byte.
+closed-loop collection, resolves the ``timing_stats`` metric from the
+registry (:mod:`repro.metrics.registry`) and folds the replayed trace
+chunk by chunk through the metric's out-of-core engine (O(1) float
+state), shipping the state back instead of the replayed requests.
+``merge`` finalizes in paper order; the registry contract guarantees the
+fold is bit-identical to the batch kernel, so sharded output matches the
+serial path byte for byte.
 """
 
 from __future__ import annotations
@@ -20,8 +20,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.analysis import render_table
-from repro.analysis.timing_stats import TimingStats
-from repro.streaming import StreamingTimingStats, chunked
+from repro.metrics import chunked, get_metric
+from repro.metrics.timing import TimingStats, TimingStatsState
 from repro.workloads import ALL_TRACES, DEFAULT_SEED, TABLE_IV
 
 from .common import ExperimentResult, cached_collection
@@ -29,6 +29,9 @@ from .spec import ExperimentSpec, ShardPlan
 
 #: Rows folded per streaming step inside a shard worker.
 SHARD_CHUNK_ROWS = 16384
+
+#: The one metric this experiment reports.
+METRIC_NAME = "timing_stats"
 
 
 def _row(stats: TimingStats) -> list:
@@ -49,17 +52,18 @@ def _row(stats: TimingStats) -> list:
 
 def compute_shard(
     unit: str, seed: int = DEFAULT_SEED, num_requests: Optional[int] = None
-) -> StreamingTimingStats:
-    """One trace's closed-loop replay, reduced to its streaming summary.
+) -> TimingStatsState:
+    """One trace's closed-loop replay, reduced to its streaming state.
 
     The collapsed (O(1) float state) form suffices here: a worker folds
     its own trace sequentially, so nothing merges onto its left.
     """
     replay = cached_collection(unit, seed=seed, num_requests=num_requests)
-    summary = StreamingTimingStats(collapse=True)
+    metric = get_metric(METRIC_NAME)
+    state = metric.init(collapse=True)
     for chunk in chunked(replay.trace.columns(), SHARD_CHUNK_ROWS):
-        summary.update(chunk)
-    return summary
+        metric.update(state, chunk)
+    return state
 
 
 def merge(
@@ -69,10 +73,11 @@ def merge(
 ) -> ExperimentResult:
     """Finalize the per-trace summaries into Table IV (paper order)."""
     del seed, num_requests  # assembly is a pure function of the payloads
+    metric = get_metric(METRIC_NAME)
     rows = []
     measured = {}
     for name in ALL_TRACES:
-        stats = payloads[name].finalize(name)
+        stats = metric.finalize(payloads[name], name)
         measured[name] = stats
         rows.append(_row(stats))
     table = render_table(

@@ -1,0 +1,123 @@
+"""The :class:`Metric` abstraction: one statistic, three execution engines.
+
+A metric is declared **once** -- its name, the value it finalizes to,
+the cross-chunk carry state its streaming form needs -- and every way of
+executing it derives from that single definition:
+
+* **batch**: ``metric.batch(columns)`` runs the vectorized whole-array
+  kernel over an in-memory :class:`~repro.trace.TraceColumns` view.
+* **sharded**: ``metric.init()`` (deferred float state) per shard,
+  ``metric.update(state, chunk)`` in stream order within each shard,
+  ``metric.merge(left, right)`` across adjacent shards in any tree
+  shape, ``metric.finalize(state)`` at the root.  This is how the
+  parallel experiment runner keeps ``--jobs N`` bit-identical.
+* **out-of-core**: ``metric.fold(chunks)`` -- ``init(collapse=True)``
+  plus a sequential ``update`` per memory-mapped chunk, O(1) float
+  state.  This is ``repro-trace store stats``.
+
+The exactness contract, enforced for every registered metric by
+``tests/metrics/test_registry_properties.py``: ``finalize(fold(chunks))
+== batch(concatenation of chunks)`` with ``==`` on floats -- the same
+bits, not approximately equal -- for *any* chunking and any contiguous
+shard split.  Integer state splits trivially; float folds go through
+:class:`~repro.metrics.reductions.OrderedSum`; everything the stream
+order feeds across a chunk boundary (previous arrival, previous
+``end_lba``, the distinct-LBA set) is named in ``carry_fields`` and
+carried explicitly by the state object.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, Tuple
+
+from repro.trace import TraceColumns
+
+#: The execution engines every metric definition supports.
+ENGINES: Tuple[str, ...] = ("batch", "sharded", "out-of-core")
+
+
+class MetricState:
+    """Protocol of a streaming metric state (duck-typed, not enforced).
+
+    ``update(chunk)`` folds the next :class:`~repro.trace.TraceColumns`
+    chunk in (stream order); ``merge(other)`` absorbs the state of the
+    stream segment that immediately follows this one.
+    """
+
+    __slots__ = ()
+
+
+class Metric(ABC):
+    """One statistic: a vectorized batch kernel plus its mergeable state.
+
+    Subclasses set the declarative attributes and implement
+    :meth:`batch`, :meth:`init` and :meth:`finalize`; ``update`` and
+    ``merge`` delegate to the state object, so one state class serves
+    both the sharded and the out-of-core engine.
+    """
+
+    #: Registry key, e.g. ``"size_stats"``.
+    name: str = ""
+    #: One-line description of the finalized value.
+    value_doc: str = ""
+    #: Names of the cross-chunk carry state (empty: order-insensitive
+    #: integer state that needs no boundary handling).
+    carry_fields: Tuple[str, ...] = ()
+    #: Execution engines the definition supports (all of them, today).
+    engines: Tuple[str, ...] = ENGINES
+
+    # -- the one definition ---------------------------------------------------
+
+    @abstractmethod
+    def batch(self, columns: TraceColumns, name: str = "") -> Any:
+        """The vectorized whole-array kernel (the batch engine)."""
+
+    @abstractmethod
+    def init(self, collapse: bool = False) -> Any:
+        """A fresh streaming state.
+
+        ``collapse=True`` keeps float folds O(1) for sequential
+        out-of-core consumption; the default deferred form is mergeable
+        across contiguous shard splits (see
+        :class:`~repro.metrics.reductions.OrderedSum`).
+        """
+
+    @abstractmethod
+    def finalize(self, state: Any, name: str = "") -> Any:
+        """The exact value :meth:`batch` returns for the folded stream."""
+
+    # -- generic state plumbing (shared by every metric) ----------------------
+
+    def update(self, state: Any, chunk: TraceColumns) -> Any:
+        """Fold the next chunk (in stream order) into ``state``."""
+        state.update(chunk)
+        return state
+
+    def merge(self, left: Any, right: Any) -> Any:
+        """Absorb ``right`` -- the summary of the stream segment that
+        immediately follows ``left`` -- into ``left``."""
+        left.merge(right)
+        return left
+
+    # -- the out-of-core engine ------------------------------------------------
+
+    def fold(
+        self,
+        chunks: Iterable[TraceColumns],
+        name: str = "",
+        collapse: bool = True,
+    ) -> Any:
+        """Fold an in-order chunk iterable and finalize in one call."""
+        state = self.init(collapse=collapse)
+        for chunk in chunks:
+            self.update(state, chunk)
+        return self.finalize(state, name)
+
+    def __deepcopy__(self, memo) -> "Metric":
+        """Metric definitions are stateless singletons: states deep-copy
+        (shard workers clone them freely), the definitions never do."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Metric {self.name!r}>"

@@ -1,0 +1,145 @@
+"""Per-size average access rate metric (the trace-derived Fig. 3).
+
+The batch kernel concatenates the eligible requests' sizes and ``size /
+response`` rates in stream order and reduces each size class with
+:func:`~repro.trace.sequential_sum`.  The streaming state keeps one
+:class:`~repro.metrics.reductions.OrderedSum` per size class; because
+chunking preserves stream order and each class's values land in its sum
+in that same order, ``finalize()`` reproduces the batch per-size means
+bit for bit.
+
+The device-side Fig. 3 measurement (sweeping synthetic back-to-back
+requests on an :class:`~repro.emmc.device.EmmcDevice`) is *not* a trace
+metric and stays in :mod:`repro.analysis.throughput`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.trace import Op, OP_WRITE, TraceColumns, sequential_sum
+
+from .base import Metric
+from .reductions import OrderedSum
+
+
+class ThroughputBySizeState:
+    """Single-pass, mergeable per-size mean access rates.
+
+    One instance covers one operation type (read or write) over one
+    request stream.  ``collapse=True`` keeps each per-size sum O(1) for
+    sequential out-of-core consumption; the default deferred form is
+    mergeable across contiguous shard splits.
+    """
+
+    __slots__ = ("op_code", "collapse", "_sums")
+
+    def __init__(self, op: Op, collapse: bool = False) -> None:
+        self.op_code = OP_WRITE if op is Op.WRITE else 0
+        self.collapse = bool(collapse)
+        self._sums: Dict[int, OrderedSum] = {}
+
+    def update(self, chunk: TraceColumns) -> None:
+        """Fold the next chunk (in stream order) in."""
+        if len(chunk) == 0:
+            return
+        response = chunk.response_us
+        # NaN response times (incomplete requests) are excluded by the
+        # completed mask; silence the comparison warning like the batch
+        # kernel does.
+        with np.errstate(invalid="ignore"):
+            eligible = (
+                (chunk.op == self.op_code) & chunk.completed_mask & (response > 0)
+            )
+        if not eligible.any():
+            return
+        sizes = chunk.size[eligible]
+        rates = sizes / response[eligible]
+        for size in np.unique(sizes):
+            key = int(size)
+            ordered = self._sums.get(key)
+            if ordered is None:
+                ordered = self._sums[key] = OrderedSum(collapse=self.collapse)
+            ordered.update(rates[sizes == size])
+
+    def merge(self, other: "ThroughputBySizeState") -> None:
+        """Absorb the summary of the stream segment following this one."""
+        if other.op_code != self.op_code:
+            raise ValueError("cannot merge throughput summaries of different ops")
+        for key, ordered in other._sums.items():
+            mine = self._sums.get(key)
+            if mine is None:
+                self._sums[key] = mine = OrderedSum(collapse=self.collapse)
+            mine.merge(ordered)
+
+    def finalize(self) -> Dict[int, float]:
+        """Per-size mean rates (MB/s), exactly like the batch kernel."""
+        return {
+            size: self._sums[size].total() / self._sums[size].count
+            for size in sorted(self._sums)
+        }
+
+
+class ThroughputBySizeMetric(Metric):
+    """Average access rate per request size for one operation type.
+
+    Two registered instances exist -- one per ``Op`` -- because a metric
+    definition is a closed statistic: registry consumers must be able to
+    run it without passing extra parameters.
+    """
+
+    value_doc = "{size bytes: mean MB/s} of completed requests (Fig. 3, trace-derived)"
+    carry_fields = ()  # per-size OrderedSums carry stream order internally
+
+    def __init__(self, op: Op) -> None:
+        self.op = op
+        suffix = "write" if op is Op.WRITE else "read"
+        self.name = f"throughput_by_size_{suffix}"
+
+    def batch(self, columns: TraceColumns, name: str = "") -> Dict[int, float]:
+        del name
+        return self.batch_traces([columns])
+
+    def batch_traces(self, columns_list) -> Dict[int, float]:
+        """The multi-stream batch kernel (the paper pools all 18 traces).
+
+        Sizes/rates of the eligible requests are concatenated in stream
+        order, then each size class is reduced with an in-order
+        :func:`~repro.trace.sequential_sum` -- exactly the accumulation
+        order the scalar reference dict loop performs, so the per-size
+        means are bit-identical.
+        """
+        op_code = OP_WRITE if self.op is Op.WRITE else 0
+        size_chunks: List[np.ndarray] = []
+        rate_chunks: List[np.ndarray] = []
+        for columns in columns_list:
+            response = columns.response_us
+            with np.errstate(invalid="ignore"):
+                eligible = (
+                    (columns.op == op_code) & columns.completed_mask & (response > 0)
+                )
+            size_chunks.append(columns.size[eligible])
+            rate_chunks.append(columns.size[eligible] / response[eligible])
+        if not size_chunks:
+            return {}
+        sizes = np.concatenate(size_chunks)
+        rates = np.concatenate(rate_chunks)
+        result: Dict[int, float] = {}
+        for size in np.unique(sizes):
+            group = rates[sizes == size]
+            result[int(size)] = sequential_sum(group) / int(group.size)
+        return result
+
+    def init(self, collapse: bool = False) -> ThroughputBySizeState:
+        return ThroughputBySizeState(self.op, collapse=collapse)
+
+    def finalize(self, state: ThroughputBySizeState, name: str = "") -> Dict[int, float]:
+        del name
+        return state.finalize()
+
+
+#: The registered singletons (see :mod:`repro.metrics.registry`).
+THROUGHPUT_BY_SIZE_READ = ThroughputBySizeMetric(Op.READ)
+THROUGHPUT_BY_SIZE_WRITE = ThroughputBySizeMetric(Op.WRITE)

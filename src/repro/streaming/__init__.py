@@ -1,16 +1,22 @@
 """Single-pass, mergeable streaming analytics over chunked trace streams.
 
-Every statistic in the paper's Tables III/IV and Figs. 4-6 has a
-streaming counterpart here with the same three-method protocol:
+Since the unified metric-kernel layer (:mod:`repro.metrics`) landed,
+this package is a thin facade: the per-statistic streaming states are
+defined once next to their batch kernels in ``repro/metrics/`` and
+re-exported here under their historical ``Streaming*`` names, and
+:class:`StreamingTraceSummary` drives the registry's summary metric set
+through the generic :class:`~repro.metrics.driver.MetricSetState`.
+
+The protocol is unchanged:
 
 * ``update(chunk)`` folds the next :class:`~repro.trace.TraceColumns`
   chunk in (chunks must arrive in stream order);
 * ``merge(other)`` absorbs the summary of the stream segment that
   immediately follows this one (shard-and-merge trees);
 * ``finalize(...)`` returns the *exact* object the corresponding batch
-  kernel in :mod:`repro.analysis` produces -- bit-identical floats, not
-  just approximately equal (see :mod:`repro.streaming.reductions` for
-  how float folds stay exact across chunking and merging).
+  kernel produces -- bit-identical floats, not just approximately equal
+  (see :mod:`repro.metrics.reductions` for how float folds stay exact
+  across chunking and merging).
 
 The summaries pair with :mod:`repro.store` for out-of-core analysis:
 ``summarize_store`` folds a memory-mapped store chunk by chunk with O(1)

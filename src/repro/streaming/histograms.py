@@ -1,142 +1,20 @@
-"""Streaming bucketed distributions (Figs. 4/5/6, paper bucket edges).
+"""Compatibility shim: the streaming histogram states moved to
+:mod:`repro.metrics.histograms` (the unified metric-kernel layer).
 
-The batch kernels bin a whole value vector with
-:func:`repro.workloads.buckets.histogram` (first matching bucket wins)
-and divide integer counts by the total value count.  The streaming
-versions keep exactly those integers per chunk -- bucket membership is
-an element-wise comparison, so chunking cannot change it -- and repeat
-the same final division, making ``finalize()`` bit-identical to the
-batch result on any chunking and any merge tree.
-
-Only the inter-arrival histogram carries boundary state: the gap that
-straddles two chunks (or two merged shards) is computed from the carried
-``last_arrival_us`` with the same subtraction ``np.diff`` performs.
+The ``Streaming*`` names are aliases of the moved state classes; they
+keep existing imports and pickled experiment shard payloads resolving.
 """
 
-from __future__ import annotations
-
-from typing import Dict, Optional, Sequence
-
-import numpy as np
-
-from repro.trace import TraceColumns, US_PER_MS
-from repro.workloads.buckets import (
-    Bucket,
-    INTERARRIVAL_BUCKETS_MS,
-    RESPONSE_BUCKETS_MS,
-    SIZE_BUCKETS,
+from repro.metrics.histograms import (
+    HistogramState as StreamingHistogram,
+    InterarrivalHistogramState as StreamingInterarrivalHistogram,
+    ResponseHistogramState as StreamingResponseHistogram,
+    SizeHistogramState as StreamingSizeHistogram,
 )
 
-
-class StreamingHistogram:
-    """Mergeable bucket counts over an arbitrary value stream.
-
-    The generic core: feed raw values via :meth:`update_values`; the
-    trace-facing subclasses below extract the right column per chunk.
-    """
-
-    __slots__ = ("buckets", "counts", "total")
-
-    def __init__(self, buckets: Sequence[Bucket]) -> None:
-        self.buckets = tuple(buckets)
-        self.counts = {bucket.label: 0 for bucket in self.buckets}
-        self.total = 0
-
-    def update_values(self, values: np.ndarray) -> None:
-        """Bin a batch of values (element-wise -- any order)."""
-        array = np.asarray(values, dtype=np.float64)
-        if array.size == 0:
-            return
-        self.total += int(array.size)
-        remaining = np.ones(array.shape, dtype=bool)
-        for bucket in self.buckets:
-            matched = remaining & (bucket.low < array) & (array <= bucket.high)
-            self.counts[bucket.label] += int(np.count_nonzero(matched))
-            remaining &= ~matched
-
-    def merge(self, other: "StreamingHistogram") -> None:
-        """Absorb another summary over the same bucket set."""
-        if other.buckets != self.buckets:
-            raise ValueError("cannot merge histograms over different buckets")
-        for label, count in other.counts.items():
-            self.counts[label] += count
-        self.total += other.total
-
-    def finalize(self) -> Dict[str, float]:
-        """Per-bucket fractions, exactly like the batch ``histogram()``."""
-        if self.total == 0:
-            return {label: 0.0 for label in self.counts}
-        return {label: count / self.total for label, count in self.counts.items()}
-
-
-class StreamingSizeHistogram(StreamingHistogram):
-    """Fig. 4 / 7a: request-size distribution over the paper's buckets."""
-
-    __slots__ = ()
-
-    def __init__(self) -> None:
-        super().__init__(SIZE_BUCKETS)
-
-    def update(self, chunk: TraceColumns) -> None:
-        self.update_values(chunk.size)
-
-
-class StreamingResponseHistogram(StreamingHistogram):
-    """Fig. 5 / 7b: response-time distribution of completed requests."""
-
-    __slots__ = ()
-
-    def __init__(self) -> None:
-        super().__init__(RESPONSE_BUCKETS_MS)
-
-    def update(self, chunk: TraceColumns) -> None:
-        completed_mask = chunk.completed_mask
-        if completed_mask.any():
-            self.update_values(chunk.response_us[completed_mask] / US_PER_MS)
-
-
-class StreamingInterarrivalHistogram(StreamingHistogram):
-    """Fig. 6 / 7c: inter-arrival-time distribution, with boundary state."""
-
-    __slots__ = ("first_arrival_us", "last_arrival_us", "requests")
-
-    def __init__(self) -> None:
-        super().__init__(INTERARRIVAL_BUCKETS_MS)
-        self.first_arrival_us: Optional[float] = None
-        self.last_arrival_us: Optional[float] = None
-        self.requests = 0
-
-    def update(self, chunk: TraceColumns) -> None:
-        rows = len(chunk)
-        if rows == 0:
-            return
-        arrivals = chunk.arrival_us
-        gaps = np.diff(arrivals) if rows > 1 else np.empty(0, dtype=np.float64)
-        if self.last_arrival_us is not None:
-            crossing = np.array(
-                [float(arrivals[0]) - self.last_arrival_us], dtype=np.float64
-            )
-            gaps = np.concatenate((crossing, gaps))
-        self.update_values(gaps / US_PER_MS)
-        if self.first_arrival_us is None:
-            self.first_arrival_us = float(arrivals[0])
-        self.last_arrival_us = float(arrivals[-1])
-        self.requests += rows
-
-    def merge(self, other: "StreamingInterarrivalHistogram") -> None:  # type: ignore[override]
-        """Absorb the summary of the stream segment following this one."""
-        if other.requests == 0:
-            return
-        if self.requests:
-            assert other.first_arrival_us is not None
-            assert self.last_arrival_us is not None
-            crossing = np.array(
-                [other.first_arrival_us - self.last_arrival_us], dtype=np.float64
-            )
-            self.update_values(crossing / US_PER_MS)
-            self.last_arrival_us = other.last_arrival_us
-        else:
-            self.first_arrival_us = other.first_arrival_us
-            self.last_arrival_us = other.last_arrival_us
-        StreamingHistogram.merge(self, other)
-        self.requests += other.requests
+__all__ = [
+    "StreamingHistogram",
+    "StreamingInterarrivalHistogram",
+    "StreamingResponseHistogram",
+    "StreamingSizeHistogram",
+]

@@ -1,129 +1,18 @@
-"""Streaming spatial/temporal locality (paper Section III-C, Table IV).
+"""Compatibility shim: the streaming locality states moved to
+:mod:`repro.metrics.locality` (the unified metric-kernel layer).
 
-Both localities are integer counts over the LBA column, so their
-streaming versions are exact in any chunking and under any merge tree;
-the only subtlety is the state carried across chunk boundaries:
-
-* spatial locality compares each request's start address with its
-  *predecessor's* end address, so the summary carries the previous
-  chunk's last ``end_lba`` (and its own first LBA, so that two
-  mid-stream shards can account for the pair that straddles their
-  boundary when merged);
-* temporal locality is ``hits = n - #distinct``, so the summary carries
-  the sorted array of distinct LBAs seen so far (exactness requires the
-  full distinct set -- a recency window would undercount re-hits -- and
-  distinct addresses are a small fraction of requests for the paper's
-  workloads).
+The ``Streaming*`` names are aliases of the moved state classes; they
+keep existing imports and pickled experiment shard payloads resolving.
 """
 
-from __future__ import annotations
+from repro.metrics.locality import (
+    LocalitiesState as StreamingLocalities,
+    SpatialLocalityState as StreamingSpatialLocality,
+    TemporalLocalityState as StreamingTemporalLocality,
+)
 
-from typing import Optional
-
-import numpy as np
-
-from repro.analysis.locality import Localities
-from repro.trace import TraceColumns
-
-
-class StreamingSpatialLocality:
-    """Single-pass, mergeable spatial locality."""
-
-    __slots__ = ("total", "sequential", "first_lba", "last_end_lba")
-
-    def __init__(self) -> None:
-        self.total = 0
-        self.sequential = 0
-        self.first_lba: Optional[int] = None
-        self.last_end_lba: Optional[int] = None
-
-    def update(self, chunk: TraceColumns) -> None:
-        """Fold the next chunk (in stream order) in."""
-        rows = len(chunk)
-        if rows == 0:
-            return
-        lba, size = chunk.lba, chunk.size
-        if self.last_end_lba is not None and int(lba[0]) == self.last_end_lba:
-            self.sequential += 1
-        if rows > 1:
-            self.sequential += int(np.count_nonzero(lba[1:] == lba[:-1] + size[:-1]))
-        if self.first_lba is None:
-            self.first_lba = int(lba[0])
-        self.last_end_lba = int(lba[-1]) + int(size[-1])
-        self.total += rows
-
-    def merge(self, other: "StreamingSpatialLocality") -> None:
-        """Absorb the summary of the stream segment following this one."""
-        if other.total == 0:
-            return
-        self.sequential += other.sequential
-        if self.last_end_lba is not None and other.first_lba == self.last_end_lba:
-            self.sequential += 1
-        if self.first_lba is None:
-            self.first_lba = other.first_lba
-        self.last_end_lba = other.last_end_lba
-        self.total += other.total
-
-    def finalize(self) -> float:
-        """Fraction of sequential accesses, exactly like the batch kernel."""
-        if self.total == 0:
-            return 0.0
-        return self.sequential / self.total
-
-
-class StreamingTemporalLocality:
-    """Single-pass, mergeable temporal locality."""
-
-    __slots__ = ("total", "_distinct")
-
-    def __init__(self) -> None:
-        self.total = 0
-        self._distinct = np.empty(0, dtype=np.int64)
-
-    def update(self, chunk: TraceColumns) -> None:
-        """Fold the next chunk in (order does not matter here)."""
-        rows = len(chunk)
-        if rows == 0:
-            return
-        self.total += rows
-        self._distinct = np.union1d(self._distinct, chunk.lba)
-
-    def merge(self, other: "StreamingTemporalLocality") -> None:
-        """Absorb another segment's summary (any order -- set union)."""
-        self.total += other.total
-        self._distinct = np.union1d(self._distinct, other._distinct)
-
-    @property
-    def distinct(self) -> int:
-        """Number of distinct start addresses seen."""
-        return int(self._distinct.size)
-
-    def finalize(self) -> float:
-        """Fraction of re-hits: ``(n - #distinct) / n``, like the batch kernel."""
-        if self.total == 0:
-            return 0.0
-        return (self.total - self.distinct) / self.total
-
-
-class StreamingLocalities:
-    """Both localities together (the shape :func:`repro.analysis.measure` has)."""
-
-    __slots__ = ("spatial", "temporal")
-
-    def __init__(self) -> None:
-        self.spatial = StreamingSpatialLocality()
-        self.temporal = StreamingTemporalLocality()
-
-    def update(self, chunk: TraceColumns) -> None:
-        self.spatial.update(chunk)
-        self.temporal.update(chunk)
-
-    def merge(self, other: "StreamingLocalities") -> None:
-        self.spatial.merge(other.spatial)
-        self.temporal.merge(other.temporal)
-
-    def finalize(self) -> Localities:
-        """The exact :class:`~repro.analysis.locality.Localities` object."""
-        return Localities(
-            spatial=self.spatial.finalize(), temporal=self.temporal.finalize()
-        )
+__all__ = [
+    "StreamingLocalities",
+    "StreamingSpatialLocality",
+    "StreamingTemporalLocality",
+]

@@ -1,13 +1,14 @@
 """One-pass trace summary: everything Tables III/IV and Figs. 4-6 need.
 
-:class:`StreamingTraceSummary` bundles every per-trace streaming summary
-into a single object with the same ``update(chunk)`` / ``merge(other)`` /
-``finalize(name)`` protocol, so one pass over a trace store (or one
+:class:`StreamingTraceSummary` folds the registry's summary metric set
+(see :data:`repro.metrics.registry.SUMMARY_METRIC_NAMES`) over a chunk
+stream via the generic :class:`~repro.metrics.driver.MetricSetState`
+driver, keeping the familiar ``update(chunk)`` / ``merge(other)`` /
+``finalize(name)`` protocol.  One pass over a trace store (or one
 shard-and-merge tree over its chunks) yields the exact
-:class:`~repro.analysis.size_stats.SizeStats`,
-:class:`~repro.analysis.timing_stats.TimingStats` and bucketed
-distributions the batch kernels compute from an in-memory
-:class:`~repro.trace.Trace`.
+:class:`~repro.metrics.size.SizeStats`,
+:class:`~repro.metrics.timing.TimingStats` and bucketed distributions
+the batch kernels compute from an in-memory :class:`~repro.trace.Trace`.
 
 Helpers: :func:`summarize_chunks` folds any chunk iterable (in stream
 order), :func:`summarize_store` runs out-of-core over a
@@ -21,18 +22,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
-from repro.analysis.size_stats import SizeStats
-from repro.analysis.timing_stats import TimingStats
-from repro.trace import Trace, TraceColumns
-
-from .histograms import (
-    StreamingInterarrivalHistogram,
-    StreamingResponseHistogram,
-    StreamingSizeHistogram,
+from repro.metrics.driver import MetricSetState
+from repro.metrics.histograms import (
+    InterarrivalHistogramState,
+    ResponseHistogramState,
+    SizeHistogramState,
 )
-from .reductions import chunked
-from .size import StreamingSizeStats
-from .timing import StreamingTimingStats
+from repro.metrics.registry import summary_metrics
+from repro.metrics.reductions import chunked
+from repro.metrics.size import SizeStats, SizeStatsState
+from repro.metrics.timing import TimingStats, TimingStatsState
+from repro.trace import Trace, TraceColumns
 
 #: Default number of rows folded per step by the helpers below.
 DEFAULT_SUMMARY_CHUNK_ROWS = 65536
@@ -52,46 +52,63 @@ class TraceSummary:
 class StreamingTraceSummary:
     """Single-pass, mergeable bundle of every per-trace statistic.
 
+    A thin facade over the registry-driven
+    :class:`~repro.metrics.driver.MetricSetState`: the per-metric state
+    attributes (``.size``, ``.timing``, ...) remain addressable for
+    callers that inspect mid-stream state (the CLI checks
+    ``summary.timing.completed``).
+
     ``collapse=True`` keeps the float folds O(1) for sequential
     out-of-core consumption; the default deferred form is mergeable
     across contiguous shard splits (see
-    :class:`~repro.streaming.reductions.OrderedSum`).
+    :class:`~repro.metrics.reductions.OrderedSum`).
     """
 
-    __slots__ = ("size", "timing", "size_hist", "response_hist", "interarrival_hist")
+    __slots__ = ("_state",)
 
     def __init__(self, collapse: bool = False) -> None:
-        self.size = StreamingSizeStats()
-        self.timing = StreamingTimingStats(collapse=collapse)
-        self.size_hist = StreamingSizeHistogram()
-        self.response_hist = StreamingResponseHistogram()
-        self.interarrival_hist = StreamingInterarrivalHistogram()
+        self._state = MetricSetState(summary_metrics(), collapse=collapse)
 
     def update(self, chunk: TraceColumns) -> None:
         """Fold the next chunk (in stream order) in."""
-        self.size.update(chunk)
-        self.timing.update(chunk)
-        self.size_hist.update(chunk)
-        self.response_hist.update(chunk)
-        self.interarrival_hist.update(chunk)
+        self._state.update(chunk)
 
     def merge(self, other: "StreamingTraceSummary") -> None:
         """Absorb the summary of the stream segment following this one."""
-        self.size.merge(other.size)
-        self.timing.merge(other.timing)
-        self.size_hist.merge(other.size_hist)
-        self.response_hist.merge(other.response_hist)
-        self.interarrival_hist.merge(other.interarrival_hist)
+        self._state.merge(other._state)
 
     def finalize(self, name: str) -> TraceSummary:
         """The exact objects the batch kernels return for this stream."""
+        values = self._state.finalize(name)
         return TraceSummary(
-            size=self.size.finalize(name),
-            timing=self.timing.finalize(name),
-            size_distribution=self.size_hist.finalize(),
-            response_distribution=self.response_hist.finalize(),
-            interarrival_distribution=self.interarrival_hist.finalize(),
+            size=values["size_stats"],
+            timing=values["timing_stats"],
+            size_distribution=values["size_distribution"],
+            response_distribution=values["response_distribution"],
+            interarrival_distribution=values["interarrival_distribution"],
         )
+
+    # -- per-metric state access (pre-refactor attribute names) ---------------
+
+    @property
+    def size(self) -> SizeStatsState:
+        return self._state.states["size_stats"]
+
+    @property
+    def timing(self) -> TimingStatsState:
+        return self._state.states["timing_stats"]
+
+    @property
+    def size_hist(self) -> SizeHistogramState:
+        return self._state.states["size_distribution"]
+
+    @property
+    def response_hist(self) -> ResponseHistogramState:
+        return self._state.states["response_distribution"]
+
+    @property
+    def interarrival_hist(self) -> InterarrivalHistogramState:
+        return self._state.states["interarrival_distribution"]
 
 
 def summarize_chunks(

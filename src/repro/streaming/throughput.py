@@ -1,78 +1,11 @@
-"""Streaming per-size average access rate (the trace-derived Fig. 3).
+"""Compatibility shim: the streaming per-size rate state moved to
+:mod:`repro.metrics.throughput` (the unified metric-kernel layer).
 
-The batch kernel :func:`repro.analysis.throughput.trace_throughput_by_size`
-concatenates the eligible requests' sizes and ``size / response`` rates in
-trace order and reduces each size class with
-:func:`~repro.trace.sequential_sum`.  The streaming version keeps one
-:class:`~repro.streaming.reductions.OrderedSum` per size class; because
-chunking preserves stream order and each class's values land in its sum
-in that same order, ``finalize()`` reproduces the batch per-size means
-bit for bit.
+``StreamingThroughputBySize`` is the old name of
+:class:`~repro.metrics.throughput.ThroughputBySizeState`; the alias
+keeps existing imports and pickled experiment shard payloads resolving.
 """
 
-from __future__ import annotations
+from repro.metrics.throughput import ThroughputBySizeState as StreamingThroughputBySize
 
-from typing import Dict
-
-import numpy as np
-
-from repro.trace import Op, OP_WRITE, TraceColumns
-
-from .reductions import OrderedSum
-
-
-class StreamingThroughputBySize:
-    """Single-pass, mergeable counterpart of ``trace_throughput_by_size``.
-
-    One instance covers one operation type (read or write) over one
-    request stream.  ``collapse=True`` keeps each per-size sum O(1) for
-    sequential out-of-core consumption; the default deferred form is
-    mergeable across contiguous shard splits.
-    """
-
-    __slots__ = ("op_code", "collapse", "_sums")
-
-    def __init__(self, op: Op, collapse: bool = False) -> None:
-        self.op_code = OP_WRITE if op is Op.WRITE else 0
-        self.collapse = bool(collapse)
-        self._sums: Dict[int, OrderedSum] = {}
-
-    def update(self, chunk: TraceColumns) -> None:
-        """Fold the next chunk (in stream order) in."""
-        if len(chunk) == 0:
-            return
-        response = chunk.response_us
-        # NaN response times (incomplete requests) are excluded by the
-        # completed mask; silence the comparison warning like the batch
-        # kernel does.
-        with np.errstate(invalid="ignore"):
-            eligible = (
-                (chunk.op == self.op_code) & chunk.completed_mask & (response > 0)
-            )
-        if not eligible.any():
-            return
-        sizes = chunk.size[eligible]
-        rates = sizes / response[eligible]
-        for size in np.unique(sizes):
-            key = int(size)
-            ordered = self._sums.get(key)
-            if ordered is None:
-                ordered = self._sums[key] = OrderedSum(collapse=self.collapse)
-            ordered.update(rates[sizes == size])
-
-    def merge(self, other: "StreamingThroughputBySize") -> None:
-        """Absorb the summary of the stream segment following this one."""
-        if other.op_code != self.op_code:
-            raise ValueError("cannot merge throughput summaries of different ops")
-        for key, ordered in other._sums.items():
-            mine = self._sums.get(key)
-            if mine is None:
-                self._sums[key] = mine = OrderedSum(collapse=self.collapse)
-            mine.merge(ordered)
-
-    def finalize(self) -> Dict[int, float]:
-        """Per-size mean rates (MB/s), exactly like the batch kernel."""
-        return {
-            size: self._sums[size].total() / self._sums[size].count
-            for size in sorted(self._sums)
-        }
+__all__ = ["StreamingThroughputBySize"]

@@ -1,7 +1,8 @@
 """Property-style bit-identity tests: vectorized kernels vs scalar oracles.
 
 Every vectorized analysis kernel keeps its original request-loop
-implementation as a ``_reference_*`` oracle.  These tests feed both sides
+implementation as a ``_reference_*`` oracle in ``tests/analysis/oracles.py``.
+These tests feed both sides
 randomized traces -- including the edge cases the columnar layer must get
 right (empty, single-request, all-reads, all-writes, duplicate-LBA,
 unsorted constructor input) -- and require **exact** equality: the
@@ -11,49 +12,43 @@ experiment digests are byte-compared in CI, so "close" is not enough.
 import numpy as np
 import pytest
 
-from repro.analysis.correlation import (
-    _rank,
-    _reference_rank,
-    _reference_size_response_correlation,
-    size_response_correlation,
-)
+from repro.analysis.correlation import _rank, size_response_correlation
 from repro.analysis.distributions import (
-    _reference_interarrival_distribution,
-    _reference_long_gap_share,
-    _reference_response_distribution,
-    _reference_size_distribution,
     interarrival_distribution,
     long_gap_share,
     response_distribution,
     size_distribution,
 )
-from repro.analysis.locality import (
-    _reference_spatial_locality,
-    _reference_temporal_locality,
-    spatial_locality,
-    temporal_locality,
-)
-from repro.analysis.percentiles import (
-    _reference_response_percentiles_ms,
-    _reference_service_percentiles_ms,
-    response_percentiles_ms,
-    service_percentiles_ms,
-)
-from repro.analysis.size_stats import _reference_size_stats, size_stats
-from repro.analysis.throughput import (
-    _reference_trace_throughput_by_size,
-    trace_throughput_by_size,
-)
-from repro.analysis.timing_stats import _reference_timing_stats, timing_stats
+from repro.analysis.locality import spatial_locality, temporal_locality
+from repro.analysis.percentiles import response_percentiles_ms, service_percentiles_ms
+from repro.analysis.size_stats import size_stats
+from repro.analysis.throughput import trace_throughput_by_size
+from repro.analysis.timing_stats import timing_stats
 from repro.trace import Op, Request, SECTOR, Trace
 from repro.workloads.buckets import (
     INTERARRIVAL_BUCKETS_MS,
     RESPONSE_BUCKETS_MS,
     SIZE_BUCKETS,
-    _reference_histogram,
     histogram,
 )
 from repro.workloads.sizes import calibrate
+
+from .oracles import (
+    _reference_histogram,
+    _reference_interarrival_distribution,
+    _reference_long_gap_share,
+    _reference_rank,
+    _reference_response_distribution,
+    _reference_response_percentiles_ms,
+    _reference_service_percentiles_ms,
+    _reference_size_distribution,
+    _reference_size_response_correlation,
+    _reference_size_stats,
+    _reference_spatial_locality,
+    _reference_temporal_locality,
+    _reference_timing_stats,
+    _reference_trace_throughput_by_size,
+)
 
 
 def _random_trace(

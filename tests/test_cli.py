@@ -69,6 +69,37 @@ class TestStats:
         assert "No-wait" in out
         assert "Arrival rate" in out
 
+    def test_engines_print_byte_identical_tables(self, tmp_path, capsys):
+        path = tmp_path / "t.csv"
+        main(["collect", "Email", "-o", str(path), "--requests", "40"])
+        capsys.readouterr()
+        assert main(["stats", str(path), "--engine", "batch"]) == 0
+        batch = capsys.readouterr()
+        assert main(["stats", str(path), "--engine", "streaming"]) == 0
+        streaming = capsys.readouterr()
+        assert streaming.out == batch.out  # stdout byte-identical
+        assert "[engine: batch]" in batch.err
+        assert "[engine: streaming]" in streaming.err
+
+    def test_engine_note_not_on_stdout(self, tmp_path, capsys):
+        path = tmp_path / "t.csv"
+        main(["generate", "Email", "-o", str(path), "--requests", "20"])
+        capsys.readouterr()
+        assert main(["stats", str(path)]) == 0
+        assert "engine" not in capsys.readouterr().out
+
+
+class TestMetricsList:
+    def test_lists_every_registered_metric(self, capsys):
+        from repro.metrics import metric_names
+
+        assert main(["metrics", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in metric_names():
+            assert name in out
+        assert "out-of-core" in out
+        assert "last_arrival_us" in out  # carry state is documented
+
 
 class TestExperimentsPassthrough:
     def test_forwards_to_experiment_runner(self, tmp_path, capsys):
@@ -162,5 +193,6 @@ class TestStore:
         assert main(["stats", str(csv)]) == 0
         batch = capsys.readouterr().out
         assert main(["store", "stats", str(store)]) == 0
-        streaming = capsys.readouterr().out
-        assert streaming == batch
+        captured = capsys.readouterr()
+        assert captured.out == batch
+        assert "[engine: streaming (out-of-core)]" in captured.err
