@@ -30,11 +30,28 @@ class PageAllocator:
         """The planes this allocator serves."""
         return self._planes
 
+    @property
+    def cursor(self) -> int:
+        """The round-robin cursor: plane index of the next write group."""
+        return self._cursor
+
     def next_plane(self) -> Plane:
         """Round-robin plane choice for the next write group."""
         plane = self._planes[self._cursor]
         self._cursor = (self._cursor + 1) % len(self._planes)
         return plane
+
+    def advance(self, count: int) -> int:
+        """Advance the round-robin cursor by ``count`` plane choices.
+
+        Returns the cursor *before* advancing.  The replay planner
+        computes a whole request's plane striping arithmetically and
+        settles the cursor with one call instead of ``count``
+        :meth:`next_plane` calls.
+        """
+        cursor = self._cursor
+        self._cursor = (cursor + count) % len(self._planes)
+        return cursor
 
     def allocate(self, plane: Plane, kind: PageKind) -> Tuple[Block, int]:
         """Reserve the next page of ``plane``'s active ``kind`` block.

@@ -139,7 +139,11 @@ class Plane:
                 f"plane {self.plane_id} has no free {kind} blocks"
             )
         pool = self.blocks[kind]
-        best_position = min(range(len(free)), key=lambda i: pool[free[i]].erase_count)
+        # First position with the minimal erase count, as a C-level min +
+        # index over a plain int list (a keyed min pays a Python call per
+        # candidate, and free pools run to tens of thousands of blocks).
+        counts = [pool[block_id].erase_count for block_id in free]
+        best_position = counts.index(min(counts))
         block_id = free.pop(best_position)
         return pool[block_id]
 

@@ -67,3 +67,17 @@ class PageMapping:
     def mapped_lpns(self):
         """Iterator over all mapped LPNs (test/introspection helper)."""
         return iter(self._table)
+
+    def items(self):
+        """Iterator over ``(lpn, location)`` pairs (bulk readers)."""
+        return self._table.items()
+
+    def bulk_table(self) -> Dict[int, PhysicalLocation]:
+        """The live LPN table, for bulk maintainers.
+
+        The replay planner batches thousands of :meth:`update`-equivalent
+        writes per request; handing it the dict avoids a method call per
+        LPN.  Callers take on ``update``'s implicit obligations: stale
+        locations they overwrite must be invalidated in their blocks.
+        """
+        return self._table

@@ -21,8 +21,11 @@ anything.  Parallel runs are bit-identical to serial ones (see
 from __future__ import annotations
 
 import argparse
+import cProfile
 import dataclasses
+import io
 import json
+import pstats
 import sys
 import time
 from typing import Callable, Dict, List, Optional
@@ -72,6 +75,57 @@ def _jsonable(value):
     return str(value)
 
 
+def _top_cumulative(profiler: cProfile.Profile, count: int = 20) -> List[str]:
+    """The top ``count`` cumulative-time lines of a finished profile."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(count)
+    lines = [line.rstrip() for line in buffer.getvalue().splitlines()]
+    # Drop the header chatter up to (and including) the column header row.
+    for index, line in enumerate(lines):
+        if line.lstrip().startswith("ncalls"):
+            return [entry for entry in lines[index:] if entry][: count + 1]
+    return [entry for entry in lines if entry][:count]
+
+
+def _profiled_execute(
+    specs: List[ExperimentSpec],
+    seed: int,
+    num_requests: Optional[int],
+) -> "tuple[parallel.RunSummary, Dict[str, List[str]]]":
+    """Run each experiment serially under cProfile; merge into one summary.
+
+    Profiling is incompatible with worker processes and with cache hits
+    (both would hide the compute), so this path forces ``jobs=1`` and a
+    :class:`NullCache` regardless of the other flags.
+    """
+    results = []
+    telemetry = []
+    profiles: Dict[str, List[str]] = {}
+    started = time.perf_counter()
+    for spec in specs:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        part = parallel.execute(
+            ids=[spec.experiment_id],
+            seed=seed,
+            num_requests=num_requests,
+            jobs=1,
+            cache=NullCache(),
+        )
+        profiler.disable()
+        profiles[spec.experiment_id] = _top_cumulative(profiler)
+        results.extend(part.results)
+        telemetry.extend(part.telemetry)
+    summary = parallel.RunSummary(
+        results=results,
+        telemetry=telemetry,
+        wall_s=time.perf_counter() - started,
+        jobs=1,
+    )
+    return summary, profiles
+
+
 def _print_registry() -> None:
     width = max(len(identifier) for identifier in REGISTRY)
     for identifier, spec in REGISTRY.items():
@@ -109,6 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", help="write every experiment's structured data to this JSON file"
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run each experiment under cProfile (serial, cache off) and "
+            "report its top-20 cumulative lines next to the _meta summary"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list the registered experiments and exit"
     )
     return parser
@@ -129,13 +191,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     cache = NullCache() if args.no_cache else ResultCache(cache_dir=args.cache_dir)
 
     started = time.time()
-    summary = parallel.execute(
-        ids=[spec.experiment_id for spec in specs],
-        seed=args.seed,
-        num_requests=num_requests,
-        jobs=args.jobs,
-        cache=cache,
-    )
+    profiles: Optional[Dict[str, List[str]]] = None
+    if args.profile:
+        summary, profiles = _profiled_execute(specs, args.seed, num_requests)
+    else:
+        summary = parallel.execute(
+            ids=[spec.experiment_id for spec in specs],
+            seed=args.seed,
+            num_requests=num_requests,
+            jobs=args.jobs,
+            cache=cache,
+        )
     reports: List[str] = []
     structured: Dict[str, object] = {}
     for result, telemetry in zip(summary.results, summary.telemetry):
@@ -157,8 +223,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"[total: {total_wall:.1f}s wall, {summary.compute_s:.1f}s compute, "
         f"jobs={summary.jobs}, speedup {summary.speedup:.2f}x]"
     )
-    if cache.enabled:
+    if cache.enabled and not args.profile:
         print(f"[{cache.stats.summary()}]")
+    if profiles is not None and not args.json:
+        for experiment_id, lines in profiles.items():
+            print(f"\n[profile: {experiment_id}]")
+            for line in lines:
+                print(line)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write("\n\n".join(reports) + "\n")
@@ -168,6 +239,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "seed": args.seed,
             "num_requests": num_requests,
         }
+        if profiles is not None:
+            structured["_profile"] = profiles
         with open(args.json, "w") as handle:
             json.dump(structured, handle, indent=2)
     return 0

@@ -1,0 +1,45 @@
+"""Vectorized replay fast path for queue_depth=1 open-loop replay.
+
+Every paper experiment replays traces on the same device configuration:
+a single command queue (``queue_depth=1``), open-loop arrivals, no RAM
+buffer, no fault injection.  Under those conditions each request's full
+schedule is fixed at dispatch (FIFO, no preemption), so the event kernel
+is pure overhead: the heap, the Event objects, the timer churn and the
+per-op method dispatch all reproduce arithmetic that can be computed in
+two tight passes over the trace columns instead.
+
+The fast path is split into:
+
+* :mod:`repro.replay.preconditions` -- the eligibility rules; anything
+  the two-pass engine cannot model bit-exactly falls back to the kernel.
+* :mod:`repro.replay.planner` -- the planning pass: a slimmed sequential
+  FTL walk over :class:`~repro.trace.columns.TraceColumns` that mutates
+  the real FTL structures exactly like the kernel would and emits each
+  request's flash ops (unit, channel, latency components) as NumPy
+  arrays.
+* :mod:`repro.replay.timing` -- the timing pass: replays the kernel's
+  ``max(frontier, earliest)`` reservation arithmetic over the plan
+  arrays, operation by operation, in the exact same IEEE-754 order.
+* :mod:`repro.replay.engine` -- orchestration: runs both passes, applies
+  the resulting device state (stats, queue, power, resource frontiers,
+  kernel clock and timers), and assembles the ``ReplayResult`` with a
+  ready-made columnar view.
+
+The contract is **bit-identity**: a fast-path replay must leave the
+device -- stats, FTL, mapping, timelines, power model, kernel clock --
+in exactly the state a kernel replay would, and return exactly the same
+timestamps.  ``tests/replay`` and the CI replay-parity job enforce this
+against the 57 experiment digests and the frozen goldens.
+"""
+
+from .engine import FastPathUnavailable, fast_replay, maybe_fast_replay
+from .preconditions import REPLAY_FASTPATH_ENV, FastPathDecision, decide
+
+__all__ = [
+    "REPLAY_FASTPATH_ENV",
+    "FastPathDecision",
+    "FastPathUnavailable",
+    "decide",
+    "fast_replay",
+    "maybe_fast_replay",
+]

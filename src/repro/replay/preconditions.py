@@ -1,0 +1,81 @@
+"""Eligibility rules for the replay fast path.
+
+The two-pass engine models exactly one device behaviour: ``queue_depth=1``
+FIFO service with no RAM buffer, no fault injection, no idle-time GC, no
+copy-back programming, page mapping, and a kernel that holds nothing but
+the device's own speculative timers.  Everything else falls back to the
+event kernel -- correctness first, speed second.
+
+The decision is pure (no device mutation) and cheap enough to run on
+every ``Host.replay`` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Environment switch for the dispatcher (read by
+#: :func:`repro.replay.engine.maybe_fast_replay`):
+#:
+#: * ``auto`` (default/unset) -- use the fast path when eligible, fall
+#:   back to the event kernel otherwise;
+#: * ``off``/``0``/``kernel`` -- never use the fast path;
+#: * ``require``/``force`` -- raise if the fast path is ineligible
+#:   (parity jobs use this so a silent fallback cannot mask a regression).
+REPLAY_FASTPATH_ENV = "REPRO_REPLAY_FASTPATH"
+
+
+@dataclass(frozen=True)
+class FastPathDecision:
+    """Outcome of the eligibility check, with human-readable reasons."""
+
+    eligible: bool
+    reasons: Tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.eligible
+
+
+def decide(device, trace) -> FastPathDecision:
+    """Whether ``device`` can replay ``trace`` on the fast path.
+
+    Every reason returned names a behaviour the two-pass engine does not
+    model; an empty tuple means the fast path is bit-exact for this
+    replay.
+    """
+    reasons = []
+    config = device.config
+    if config.queue_depth != 1:
+        reasons.append(f"queue_depth={config.queue_depth} (fast path models depth 1)")
+    if device.buffer is not None:
+        reasons.append("RAM buffer attached (absorption/eviction is event-driven)")
+    if device.faults is not None:
+        reasons.append("fault injection armed (retries schedule kernel events)")
+    if config.idle_gc:
+        reasons.append("idle-time GC enabled (IDLE_GC timers fire between requests)")
+    if config.gc_copyback:
+        reasons.append("copy-back GC programs skip the channel (not planned)")
+    if config.mapping_scheme != "page":
+        reasons.append(f"mapping scheme {config.mapping_scheme!r} (fast path walks the page FTL)")
+    kernel = device.kernel
+    if kernel.record_events:
+        reasons.append("kernel records its event trace (fast path fires no events)")
+    if kernel.pending_material():
+        reasons.append("kernel holds pending material events (foreign producers)")
+    if reasons:
+        return FastPathDecision(False, tuple(reasons))
+    # The only live events allowed on the kernel are the device's own
+    # speculative timers -- anything else (another device sharing the
+    # loop, app-stack ops) could interleave with the replay.
+    own_timers = 0
+    for timer in (device._idle_gc_timer, device._power_down_timer):
+        if timer is not None and not timer.canceled:
+            own_timers += 1
+    if len(kernel) != own_timers:
+        reasons.append("kernel holds events the fast path cannot model")
+    if len(trace) and trace[0].arrival_us < kernel.now_us:
+        # The kernel would raise SimTimeError scheduling this arrival;
+        # fall back so the error surfaces identically.
+        reasons.append("first arrival precedes the kernel clock")
+    return FastPathDecision(not reasons, tuple(reasons))

@@ -51,8 +51,23 @@ class Host:
         statistics -- the paper's replay methodology for Figs. 8 and 9.
         ``on_complete`` (if given) fires at each request's completion
         *event*, in completion order.
+
+        When the replay is eligible (queue_depth=1, no RAM buffer, no
+        faults, no foreign kernel events -- see
+        :mod:`repro.replay.preconditions`) it is lowered onto the
+        two-pass columnar fast path, which is bit-identical to the event
+        kernel; anything else, or ``REPRO_REPLAY_FASTPATH=off``, takes
+        the event loop below.  ``on_complete`` observers always use the
+        kernel: they watch COMPLETE events fire.
         """
         from repro.emmc.device import ReplayResult  # local: avoids cycle
+
+        if on_complete is None:
+            from repro.replay import maybe_fast_replay  # local: avoids cycle
+
+            fast = maybe_fast_replay(self.device, trace)
+            if fast is not None:
+                return fast
 
         completed: List[Request] = []
         for request in trace:

@@ -69,3 +69,25 @@ class TestNewFlags:
         assert meta["run"]["cache"]["misses"] == 1
         assert meta["run"]["experiments"][0]["experiment_id"] == "fig4"
         assert meta["num_requests"] == 1500
+
+    def test_profile_writes_top_lines_next_to_meta(self, tmp_path, capsys):
+        json_path = tmp_path / "data.json"
+        code = runner.main(
+            ["fig4", "--quick", "--seed", "3", "--profile",
+             "--json", str(json_path)]
+        )
+        assert code == 0
+        data = json.loads(json_path.read_text())
+        assert "_meta" in data and "_profile" in data
+        lines = data["_profile"]["fig4"]
+        # Header row plus at most 20 hotspot lines, cumulative-sorted.
+        assert lines[0].lstrip().startswith("ncalls")
+        assert 2 <= len(lines) <= 21
+        assert any("cumtime" in line for line in lines[:1])
+        assert any("fig4" in line or "parallel.py" in line for line in lines)
+
+    def test_profile_without_json_prints_to_stdout(self, capsys):
+        assert runner.main(["fig4", "--quick", "--seed", "3", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "[profile: fig4]" in out
+        assert "cumtime" in out

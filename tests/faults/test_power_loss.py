@@ -25,8 +25,10 @@ def _trace(num=12):
 
 
 def _baseline_event_count(config, trace):
+    # Counts kernel events, so the replay must run on the event kernel;
+    # an on_complete observer pins it there (the fast path has no events).
     device = EmmcDevice(config)
-    Host(device).replay(trace.without_timing())
+    Host(device).replay(trace.without_timing(), on_complete=lambda _: None)
     return device.kernel.processed
 
 

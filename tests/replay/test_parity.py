@@ -1,0 +1,120 @@
+"""Bit-identity of the fast path against the event kernel.
+
+The contract (:mod:`repro.replay`): a fast-path replay leaves the device
+and the returned timestamps in *exactly* the state a kernel replay
+produces -- ``==`` on every float, digest-equal stats, identical FTL
+mapping.  These tests pin that on real generated workloads, including
+GC-heavy small-geometry runs that exercise the planner's per-request
+fallback to the full FTL write path.
+"""
+
+import pytest
+
+from repro.emmc import EmmcDevice, small_eight_ps, small_four_ps, small_hps
+from repro.emmc.ftl.blocks import OutOfSpaceError
+from repro.faults import stats_digest
+from repro.sim import Host
+from repro.workloads import generate_trace
+
+SEED = 2015
+REQUESTS = 900
+
+CONFIGS = {
+    "small_4PS": small_four_ps,
+    "small_8PS": small_eight_ps,
+    "small_HPS": small_hps,
+}
+
+#: Light, heavy-write and GC-heavy apps (small_HPS + WebBrowsing runs
+#: thousands of GC cycles at this size, all through the fallback path).
+APPS = ["Twitter", "Booting", "WebBrowsing"]
+
+
+def _replay(config_factory, app, mode, monkeypatch):
+    monkeypatch.setenv("REPRO_REPLAY_FASTPATH", mode)
+    device = EmmcDevice(config_factory())
+    trace = generate_trace(app, seed=SEED, num_requests=REQUESTS).without_timing()
+    try:
+        result = Host(device).replay(trace)
+    except OutOfSpaceError:
+        # Write-heavy traces can exhaust a small geometry outright; both
+        # engines must agree on that too (error parity, checked below).
+        return device, None
+    return device, result
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("app", APPS)
+def test_fast_path_matches_kernel(config_name, app, monkeypatch):
+    factory = CONFIGS[config_name]
+    kernel_device, kernel_result = _replay(factory, app, "off", monkeypatch)
+    fast_device, fast_result = _replay(factory, app, "require", monkeypatch)
+
+    if kernel_result is None or fast_result is None:
+        # Capacity exhaustion must strike in both modes or neither.
+        assert kernel_result is None and fast_result is None
+        return
+
+    # Timestamps: == on every float, not approx.
+    kernel_requests = list(kernel_result.trace)
+    fast_requests = list(fast_result.trace)
+    assert kernel_requests == fast_requests
+
+    # Device statistics digest-equal (covers every counter and list).
+    assert stats_digest(fast_device.stats) == stats_digest(kernel_device.stats)
+
+    # FTL state: identical mapping and identical wear.
+    assert dict(fast_device.ftl.mapping.items()) == dict(
+        kernel_device.ftl.mapping.items()
+    )
+    assert fast_device.kernel.now_us == kernel_device.kernel.now_us
+
+
+def test_mixed_fast_and_kernel_runs_digest_identically(monkeypatch):
+    """Interleaving fast and kernel replays on one device changes nothing.
+
+    Replays 1 and 3 take the fast path; replay 2 is pinned to the event
+    kernel by an ``on_complete`` observer.  The end state must digest
+    equal to the same three replays run entirely on the kernel.
+    """
+    pieces = [
+        generate_trace(app, seed=SEED, num_requests=250).without_timing()
+        for app in ("Twitter", "Messaging", "Email")
+    ]
+
+    def run(mode):
+        monkeypatch.setenv("REPRO_REPLAY_FASTPATH", mode)
+        device = Host(EmmcDevice(small_four_ps()))
+        timestamps = []
+        for index, piece in enumerate(pieces):
+            # Sequential replays need arrivals at or after the clock.
+            shifted = _shift(piece, device.device.kernel.now_us + 1.0)
+            if index == 1 and mode == "auto":
+                result = device.replay(shifted, on_complete=lambda request: None)
+            else:
+                result = device.replay(shifted)
+            timestamps.append([(r.service_start_us, r.finish_us) for r in result.trace])
+        return device.device, timestamps
+
+    mixed_device, mixed_stamps = run("auto")
+    kernel_device, kernel_stamps = run("off")
+    assert mixed_stamps == kernel_stamps
+    assert stats_digest(mixed_device.stats) == stats_digest(kernel_device.stats)
+    assert mixed_device.kernel.now_us == kernel_device.kernel.now_us
+
+
+def _shift(trace, offset_us):
+    """Copy of ``trace`` with arrivals moved up by ``offset_us``."""
+    from repro.trace import Request
+
+    return trace.with_requests(
+        [
+            Request(
+                arrival_us=request.arrival_us + offset_us,
+                lba=request.lba,
+                size=request.size,
+                op=request.op,
+            )
+            for request in trace
+        ]
+    )

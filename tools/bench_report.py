@@ -1,0 +1,159 @@
+"""Machine-readable performance report for the replay fast path (PR 8).
+
+Measures three headline numbers and writes them to ``BENCH_PR8.json``
+(CI uploads the file as a build artifact)::
+
+    PYTHONHASHSEED=0 PYTHONPATH=src python tools/bench_report.py --out BENCH_PR8.json
+
+* **replay** -- single-trace qd=1 replay throughput (requests/s) on the
+  event kernel vs the two-pass fast path;
+* **battery** -- the Fig. 8 benchmark battery (six traces x three
+  schemes) wall milliseconds, kernel vs fast;
+* **sweep** -- wall seconds of a quick experiment sweep with the
+  dispatcher in its default (``auto``) mode.
+
+Timing methodology: machine noise on shared runners dwarfs the
+millisecond differences under test, so kernel/fast pairs are measured
+**interleaved** (kernel, fast, kernel, fast, ...) and the best of
+``--rounds`` repetitions per mode is reported.  Speedups computed from
+interleaved minima are stable where back-to-back means are not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from contextlib import contextmanager
+
+
+@contextmanager
+def _fastpath(mode):
+    """Temporarily pin REPRO_REPLAY_FASTPATH to ``mode``."""
+    from repro.replay import REPLAY_FASTPATH_ENV
+
+    previous = os.environ.get(REPLAY_FASTPATH_ENV)
+    os.environ[REPLAY_FASTPATH_ENV] = mode
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[REPLAY_FASTPATH_ENV]
+        else:
+            os.environ[REPLAY_FASTPATH_ENV] = previous
+
+
+def _interleaved(kernel_fn, fast_fn, rounds):
+    """Best wall seconds per mode over ``rounds`` interleaved repetitions."""
+    kernel_best = fast_best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        with _fastpath("off"):
+            kernel_fn()
+        kernel_best = min(kernel_best, time.perf_counter() - started)
+        started = time.perf_counter()
+        with _fastpath("require"):
+            fast_fn()
+        fast_best = min(fast_best, time.perf_counter() - started)
+    return kernel_best, fast_best
+
+
+def bench_replay(app, requests, seed, rounds):
+    """Single-trace replay: requests/s on kernel vs fast path."""
+    from repro.emmc import EmmcDevice, four_ps
+    from repro.sim import Host
+    from repro.workloads import generate_trace
+
+    config = four_ps()
+    trace = generate_trace(app, seed=seed, num_requests=requests).without_timing()
+    trace.columns()  # pre-built so both modes replay from the same arrays
+
+    def replay():
+        Host(EmmcDevice(config)).replay(trace)
+
+    kernel_s, fast_s = _interleaved(replay, replay, rounds)
+    return {
+        "app": app,
+        "scheme": "4PS",
+        "requests": requests,
+        "kernel_s": round(kernel_s, 4),
+        "fast_s": round(fast_s, 4),
+        "kernel_req_per_s": round(requests / kernel_s, 1),
+        "fast_req_per_s": round(requests / fast_s, 1),
+        "speedup": round(kernel_s / fast_s, 2),
+    }
+
+
+def bench_battery(requests, seed, rounds):
+    """The Fig. 8 benchmark battery: wall ms, kernel vs fast path."""
+    from repro.experiments import fig8
+
+    apps = ["Booting", "Installing", "CameraVideo", "Movie", "Twitter", "Facebook"]
+
+    def battery():
+        fig8.run(seed=seed, num_requests=requests, apps=apps)
+
+    kernel_s, fast_s = _interleaved(battery, battery, rounds)
+    return {
+        "apps": apps,
+        "requests": requests,
+        "kernel_ms": round(kernel_s * 1e3, 1),
+        "fast_ms": round(fast_s * 1e3, 1),
+        "speedup": round(kernel_s / fast_s, 2),
+    }
+
+
+def bench_sweep(ids, num_requests, seed):
+    """Wall seconds of a quick sweep with the dispatcher on auto."""
+    from repro.experiments import parallel
+    from repro.experiments.cache import NullCache
+
+    started = time.perf_counter()
+    summary = parallel.execute(
+        ids=list(ids), seed=seed, num_requests=num_requests, jobs=1, cache=NullCache()
+    )
+    wall_s = time.perf_counter() - started
+    return {
+        "ids": list(ids),
+        "num_requests": num_requests,
+        "wall_s": round(wall_s, 2),
+        "compute_s": round(summary.compute_s, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_PR8.json")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="interleaved repetitions per mode (default 3)")
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--replay-requests", type=int, default=4000)
+    parser.add_argument("--battery-requests", type=int, default=2500)
+    parser.add_argument("--sweep-ids", nargs="*", default=["fig8", "fig9"],
+                        help="experiments timed in the sweep section")
+    parser.add_argument("--sweep-requests", type=int, default=1500)
+    parser.add_argument("--skip-sweep", action="store_true")
+    args = parser.parse_args(argv)
+
+    report = {
+        "replay": bench_replay("Booting", args.replay_requests, args.seed, args.rounds),
+        "battery": bench_battery(args.battery_requests, args.seed, args.rounds),
+    }
+    if not args.skip_sweep:
+        report["sweep"] = bench_sweep(args.sweep_ids, args.sweep_requests, args.seed)
+    report["meta"] = {
+        "rounds": args.rounds,
+        "seed": args.seed,
+        "python": sys.version.split()[0],
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

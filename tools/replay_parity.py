@@ -1,0 +1,161 @@
+"""Exhaustive full-state parity sweep: replay fast path vs event kernel.
+
+Replays six representative traces on the four full-size and three small
+device configs twice -- ``REPRO_REPLAY_FASTPATH=off`` then ``require``
+-- and diffs **everything**: every ``DeviceStats`` field (float lists
+element-wise), admission queue, power model, controller / channel / unit
+timelines, FTL mapping, every block's slots and wear counters, free and
+active pools, allocator cursor, GC totals, kernel clock, and the
+returned per-request timestamps. Any mismatch prints the first
+diverging index and the two values::
+
+    PYTHONHASHSEED=0 python tools/replay_parity.py
+
+Exit code is non-zero on any divergence. The small configs push the
+write-heavy traces into thousands of GC cycles, exercising the
+planner's per-request fallback; combos that exhaust flash entirely are
+skipped when *both* engines agree on the error (and flagged when they
+do not). Coarser versions of these checks run per-commit in
+``tests/replay``; this sweep is the heavyweight oracle for fast-path
+development.
+"""
+import os
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+import numpy as np
+
+from repro.emmc import EmmcDevice
+from repro.emmc.configs import (
+    eight_ps,
+    four_ps,
+    hps,
+    hps_slc,
+    small_eight_ps,
+    small_four_ps,
+    small_hps,
+)
+from repro.sim import Host
+from repro.workloads import generate_trace
+
+
+def snapshot(device):
+    snap = {}
+    s = device.stats
+    for name in vars(s):
+        snap[f"stats.{name}"] = getattr(s, name)
+    q = device.queue
+    snap["queue.busy"] = q._busy_until_us
+    snap["queue.dispatches"] = q.dispatches
+    snap["queue.slot_waits"] = q.slot_waits
+    snap["queue.max_in_flight"] = q.max_in_flight
+    p = device.power
+    snap["power.last"] = p._last_activity_end_us
+    snap["power.low"] = p._low_power
+    snap["power.wakeups"] = p.wakeups
+    snap["power.switches"] = p.mode_switches
+    snap["power.entries"] = p.low_power_entries
+    snap["ctrl"] = (device.controller.next_free_us, device.controller.busy_us, device.controller.reservations)
+    snap["chans"] = [(t.next_free_us, t.busy_us, t.reservations) for t in device.channels]
+    snap["units"] = [(t.next_free_us, t.busy_us, t.reservations) for t in device.units]
+    snap["clock"] = device.kernel.now_us
+    snap["len_kernel"] = len(device.kernel)
+    # FTL state
+    ftl = device.ftl
+    snap["cursor"] = ftl.allocator.cursor
+    snap["mapping"] = dict(ftl.mapping.items())
+    blocks = []
+    for plane in ftl.planes:
+        for kind, pool in plane.blocks.items():
+            for b in pool:
+                blocks.append((plane.plane_id, str(kind), b.block_id, b.erase_count, b.write_ptr, b.valid_count, tuple(b.slots)))
+        blocks.append(("free", plane.plane_id, tuple((str(k), tuple(v)) for k, v in plane.free_blocks.items())))
+        blocks.append(("active", plane.plane_id, tuple((str(k), v) for k, v in plane.active_block.items())))
+    snap["blocks"] = blocks
+    snap["gc_total"] = ftl.gc_results_total
+    snap["gc_migr"] = ftl.gc_migrated_slots
+    return snap
+
+
+def compare(a, b, label):
+    bad = 0
+    for key in a:
+        if key in ("blocks", "mapping"):
+            if a[key] != b[key]:
+                print(f"  DIFF {label} {key}")
+                bad += 1
+            continue
+        va, vb = a[key], b[key]
+        if isinstance(va, list) and va and isinstance(va[0], float):
+            if va != vb:
+                idx = next(i for i, (x, y) in enumerate(zip(va, vb)) if x != y)
+                print(f"  DIFF {label} {key} at {idx}: {va[idx]!r} vs {vb[idx]!r}")
+                bad += 1
+        elif va != vb:
+            print(f"  DIFF {label} {key}: {va!r} vs {vb!r}")
+            bad += 1
+    return bad
+
+
+def run(config, trace, mode):
+    from repro.emmc.ftl.blocks import OutOfSpaceError
+
+    os.environ["REPRO_REPLAY_FASTPATH"] = mode
+    device = EmmcDevice(config)
+    t0 = time.perf_counter()
+    try:
+        result = Host(device).replay(trace.without_timing())
+    except OutOfSpaceError:
+        return None, None, time.perf_counter() - t0
+    dt = time.perf_counter() - t0
+    return device, result, dt
+
+
+def main():
+    full = [four_ps(), eight_ps(), hps(), hps_slc()]
+    small = [small_four_ps(), small_eight_ps(), small_hps()]
+    apps = ["Twitter", "CameraVideo", "Booting", "Email", "Idle", "WebBrowsing"]
+    total_bad = 0
+    for app in apps:
+        big_trace = generate_trace(app, seed=7, num_requests=4000)
+        small_trace = generate_trace(app, seed=7, num_requests=1200)
+        for config in full + small:
+            trace = big_trace if config in full else small_trace
+            label = f"{app}/{config.name}"
+            dk, rk, tk = run(config, trace, "off")
+            if dk is None:
+                print(f"SKIP {label}: out of space on kernel path")
+                continue
+            df, rf, tf = run(config, trace, "require")
+            if df is None:
+                print(f"BAD {label}: fast path ran out of space, kernel did not")
+                total_bad += 1
+                continue
+            bad = compare(snapshot(dk), snapshot(df), label)
+            # timestamps
+            ck = rk.trace.columns()
+            cf = rf.trace.columns()
+            for col in ("service_start_us", "complete_us", "arrival_us"):
+                if not np.array_equal(getattr(ck, col), getattr(cf, col)):
+                    a, b = getattr(ck, col), getattr(cf, col)
+                    idx = int(np.nonzero(a != b)[0][0])
+                    print(f"  DIFF {label} trace.{col} at {idx}: {a[idx]!r} vs {b[idx]!r}")
+                    bad += 1
+            if rk.trace.requests != rf.trace.requests:
+                print(f"  DIFF {label} request objects")
+                bad += 1
+            total_bad += bad
+            status = "OK " if not bad else "BAD"
+            gc = dk.stats.gc_collections
+            print(
+                f"{status} {label}: kernel {tk*1e3:7.1f} ms, fast {tf*1e3:7.1f} ms"
+                f" ({tk/max(tf,1e-9):5.1f}x)  gc={gc}"
+            )
+    print("TOTAL DIFFS:", total_bad)
+    return 1 if total_bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
