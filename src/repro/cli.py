@@ -49,6 +49,13 @@ Subcommands::
         rebuild them from the source trace (checksum-verified), or
         finalize a killed writer's store from its crash journal.
 
+    repro-trace replay APP [--telemetry OUT.json] [--span-store DIR]
+                           [--flame] [--requests N] [--seed S]
+        Replay APP open-loop on the reference device with a telemetry
+        sink attached: print the exact latency decomposition totals and
+        optionally export a Chrome-trace JSON (chrome://tracing /
+        Perfetto), a columnar span store, or a text flame summary.
+
     repro-trace faults APP [--profile NAME] [--seed N] [--requests N]
                            [--power-loss-at EVENT]
         Replay APP on the reference device under a seeded fault plan
@@ -352,6 +359,58 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_replay(args) -> int:
+    from repro.emmc import EmmcDevice, four_ps
+    from repro.sim import Host
+    from repro.telemetry import (
+        COMPONENTS,
+        Telemetry,
+        chrome_trace,
+        flame_summary,
+        pack_spans,
+    )
+
+    sink = Telemetry()
+    sink.meta["app"] = args.app
+    sink.meta["seed"] = args.seed
+    trace = generate_trace(args.app, seed=args.seed, num_requests=args.requests)
+    device = EmmcDevice(four_ps(), telemetry=sink)
+    result = Host(device).replay(trace.without_timing())
+    stats = result.stats
+
+    totals = {name: 0.0 for name in COMPONENTS}
+    for dec in sink.decompositions:
+        for name, value in dec.components.items():
+            totals[name] += value
+    response_total = sum(stats.response_us)
+    rows = [
+        ["Requests served", f"{len(result.trace):,}"],
+        ["Mean response (ms)", f"{response_total / max(len(result.trace), 1) / 1000:.3f}"],
+        ["Spans recorded", f"{len(sink.spans):,}"],
+        ["Events recorded", f"{len(sink.events) + len(sink.kernel_events):,}"],
+    ]
+    for name in COMPONENTS:
+        share = 100.0 * totals[name] / response_total if response_total else 0.0
+        rows.append([f"  {name} (us)", f"{totals[name]:,.1f} ({share:.1f}%)"])
+    print(render_table(
+        ["Metric", "Value"],
+        rows,
+        title=f"Telemetry replay {args.app!r} (seed {args.seed})",
+    ))
+    if args.telemetry:
+        chrome_trace(sink, args.telemetry)
+        print(f"wrote Chrome trace to {args.telemetry} (load in chrome://tracing)")
+    if args.span_store:
+        manifest = pack_spans(sink, args.span_store, overwrite=args.force)
+        print(
+            f"packed {manifest['total_rows']:,} spans into "
+            f"{len(manifest['chunks'])} chunk(s) at {args.span_store}"
+        )
+    if args.flame:
+        print(flame_summary(sink))
+    return 0
+
+
 def _cmd_experiments_argv(rest: List[str]) -> int:
     from repro.experiments.runner import main as experiments_main
 
@@ -464,6 +523,22 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--power-loss-at", type=int, default=None, metavar="EVENT",
                         help="cut power before the EVENT-th kernel event, then recover")
     faults.set_defaults(fn=_cmd_faults)
+
+    replay = sub.add_parser(
+        "replay", help="replay an app with telemetry and export the trace"
+    )
+    replay.add_argument("app", choices=ALL_TRACES, metavar="APP")
+    replay.add_argument("--requests", type=int, default=None)
+    replay.add_argument("--seed", type=int, default=20150614)
+    replay.add_argument("--telemetry", default=None, metavar="OUT.json",
+                        help="write a Chrome-trace JSON (chrome://tracing)")
+    replay.add_argument("--span-store", default=None, metavar="DIR",
+                        help="pack the spans into a columnar span store")
+    replay.add_argument("--flame", action="store_true",
+                        help="print the text flame summary")
+    replay.add_argument("-f", "--force", action="store_true",
+                        help="replace an existing span store at the destination")
+    replay.set_defaults(fn=_cmd_replay)
 
     experiments = sub.add_parser(
         "experiments",

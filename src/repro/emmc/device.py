@@ -45,6 +45,8 @@ from repro.sim import (
     ResourcePool,
     ResourceTimeline,
 )
+from repro.telemetry import Telemetry
+from repro.telemetry.decomposition import decompose_request
 from repro.trace import Request, SECTOR, Trace
 
 from .cache import RamBuffer
@@ -133,6 +135,7 @@ class EmmcDevice:
         config: DeviceConfig,
         kernel: Optional[EventLoop] = None,
         faults=None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = config
         self.geometry = config.geometry
@@ -203,6 +206,17 @@ class EmmcDevice:
             self.geometry.num_planes if config.multi_plane else self.geometry.num_dies
         )
         self.units = ResourcePool(units, "plane" if config.multi_plane else "die")
+        # ``telemetry`` mirrors the fault-plan pattern: ``None`` (the
+        # default) is structural absence -- no sink anywhere, no recording
+        # branch taken while serving.  An attached sink is shared with the
+        # kernel (event recording) and the FTL (GC/remap instants).
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self.kernel.telemetry = telemetry
+            self.kernel._auto_sink = False
+            attach = getattr(self.ftl, "attach_telemetry", None)
+            if attach is not None:
+                attach(telemetry, self.kernel.clock)
         #: Pending speculative timers (canceled by the next dispatch).
         self._idle_gc_timer: Optional[Event] = None
         self._power_down_timer: Optional[Event] = None
@@ -262,17 +276,37 @@ class EmmcDevice:
             completed = self._serve(event.payload)
             if record_to is not None:
                 record_to.append(completed)
-            self.kernel.schedule(
-                completed.finish_us,
-                (None if on_complete is None
-                 else (lambda _ev, _req=completed: on_complete(_req))),
-                kind=EventKind.COMPLETE,
-                payload=completed,
-            )
+            if on_complete is None:
+                self.kernel.schedule(
+                    completed.finish_us,
+                    kind=EventKind.COMPLETE,
+                    payload=completed,
+                )
+            else:
+                self.kernel.schedule(
+                    completed.finish_us,
+                    self._fire_complete,
+                    kind=EventKind.COMPLETE,
+                    payload=(completed, on_complete),
+                )
 
         return self.kernel.schedule(
             request.arrival_us, _on_arrival, kind=EventKind.ARRIVAL, payload=request
         )
+
+    def _fire_complete(self, event: Event) -> None:
+        """COMPLETE callback: hand the timed request to its observer.
+
+        Exactly one COMPLETE event is scheduled per request, and the
+        observer rides on that event's payload -- never wrapped a second
+        time.  An attached telemetry sink sees the same completion
+        through the kernel's event recording hook, not through another
+        callback, so an observer and telemetry coexist without
+        double-dispatch (regression-tested in
+        ``tests/telemetry/test_host_observer.py``).
+        """
+        completed, observer = event.payload
+        observer(completed)
 
     def submit(self, request: Request) -> Request:
         """Serve one request; returns it with device timestamps attached.
@@ -330,9 +364,7 @@ class EmmcDevice:
             remapped = rebuild()
         if self.buffer is not None:
             self.buffer.power_cycle()
-        self.kernel = EventLoop(
-            start_us=resume_us, record_events=self.kernel.record_events
-        )
+        self.kernel = self.kernel.successor(resume_us)
         self.queue = AdmissionQueue(self.config.queue_depth)
         self.controller = ResourceTimeline("controller")
         self.channels = ResourcePool(self.geometry.channels, "channel")
@@ -346,6 +378,17 @@ class EmmcDevice:
         self._power_down_timer = None
         self.power.reset_for_recovery(resume_us)
         self.stats.recoveries += 1
+        if self.telemetry is not None:
+            # Re-bind the FTL's event clock to the successor kernel and
+            # mark the power cycle; the sink itself (spans recorded so
+            # far) is replay-lifetime state and survives, like DeviceStats.
+            attach = getattr(self.ftl, "attach_telemetry", None)
+            if attach is not None:
+                attach(self.telemetry, self.kernel.clock)
+            self.telemetry.add_event(
+                "recovery", resume_us, cat="power", track="power",
+                args=remapped,
+            )
         self._arm_activity_timers()
         return RecoveryReport(
             cut_us=cut_us, resumed_us=resume_us, remapped_entries=remapped
@@ -360,7 +403,9 @@ class EmmcDevice:
         self._account_idle(dispatch)
         start = dispatch + self.power.wake(dispatch)
         ops, absorbed = self._expand(request)
-        finish = self._schedule(ops, start) if ops else start + self._absorbed_latency(absorbed)
+        telemetry = self.telemetry
+        legs = None if telemetry is None else []
+        finish = self._schedule(ops, start, legs) if ops else start + self._absorbed_latency(absorbed)
         self._account(request, dispatch, finish, ops)
         self.queue.on_dispatch(finish)
         self.power.record_activity_end(finish)
@@ -368,7 +413,88 @@ class EmmcDevice:
         if self.faults is not None:
             self._sync_fault_stats()
         self._arm_activity_timers()
+        if telemetry is not None:
+            self._record_request_telemetry(
+                telemetry, request, arrival, dispatch, start, finish, legs
+            )
         return request.with_timing(service_start_us=dispatch, finish_us=finish)
+
+    def _record_request_telemetry(
+        self,
+        telemetry: Telemetry,
+        request: Request,
+        arrival: float,
+        dispatch: float,
+        start: float,
+        finish: float,
+        legs: List[tuple],
+    ) -> None:
+        """Emit this request's span tree and exact latency decomposition.
+
+        Pure observation: every number here was already computed by the
+        serving path above; nothing is re-derived, reserved, or mutated,
+        which is how telemetry-on stays bit-identical to telemetry-off.
+        """
+        rid = telemetry.add_span(
+            "write" if request.is_write else "read",
+            arrival,
+            finish - arrival,
+            cat="request",
+            track="requests",
+        )
+        if dispatch > arrival:
+            telemetry.add_span(
+                "queue-wait", arrival, dispatch - arrival,
+                cat="queue", track="requests", parent=rid,
+            )
+        if start > dispatch:
+            telemetry.add_span(
+                "wake-up", dispatch, start - dispatch,
+                cat="power", track="requests", parent=rid,
+            )
+        unit_track = self.units.name
+        gc_begin = gc_end = None
+        for leg in legs:
+            (gc, code, die, channel, issue_start, issue,
+             unit_window, transfer_window, retries, op_finish) = leg
+            cat = "gc" if gc else "flash"
+            telemetry.add_span(
+                "issue", issue_start, issue - issue_start,
+                cat=cat, track="controller", parent=rid,
+            )
+            u0, u1 = unit_window
+            telemetry.add_span(
+                ("read", "program", "erase")[code], u0, u1 - u0,
+                cat=cat, track=f"{unit_track}{die}", parent=rid,
+            )
+            prev = u1
+            for attempt, (r0, r1) in enumerate(retries, start=1):
+                telemetry.add_span(
+                    f"ecc-backoff-{attempt}", prev, r0 - prev,
+                    cat="fault", track=f"{unit_track}{die}", parent=rid,
+                )
+                telemetry.add_span(
+                    "read-retry", r0, r1 - r0,
+                    cat="fault", track=f"{unit_track}{die}", parent=rid,
+                )
+                prev = r1
+            if transfer_window is not None:
+                t0, t1 = transfer_window
+                telemetry.add_span(
+                    "xfer", t0, t1 - t0,
+                    cat=cat, track=f"channel{channel}", parent=rid,
+                )
+            if gc:
+                gc_begin = issue_start if gc_begin is None else min(gc_begin, issue_start)
+                gc_end = op_finish if gc_end is None else max(gc_end, op_finish)
+        if gc_begin is not None:
+            telemetry.add_span(
+                "gc", gc_begin, gc_end - gc_begin,
+                cat="gc", track="requests", parent=rid,
+            )
+        telemetry.decompositions.append(
+            decompose_request(arrival, dispatch, start, finish, legs)
+        )
 
     def _sync_fault_stats(self) -> None:
         """Mirror the FTL-side fault counters into the device stats."""
@@ -458,14 +584,25 @@ class EmmcDevice:
 
     # -- timing engine --------------------------------------------------------------
 
-    def _schedule(self, ops: List[FlashOp], start: float) -> float:
+    def _schedule(
+        self,
+        ops: List[FlashOp],
+        start: float,
+        legs: Optional[List[tuple]] = None,
+    ) -> float:
         """Reserve ops on the controller/channel/unit timelines; returns makespan end.
 
         Each op claims ``[start, end)`` windows in arrival order with no
         preemption -- ``ResourceTimeline.reserve`` is the very ``max()``
         arithmetic this method used to inline, so the numbers (and their
         floating-point rounding) are unchanged.
+
+        ``legs`` (telemetry enabled only) receives one tuple per op in
+        the :data:`repro.telemetry.decomposition` ``L_*`` layout --
+        every reservation window this loop computes anyway, captured
+        instead of discarded.  Recording never changes a reservation.
         """
+        record = legs is not None
         finish = start
         for op in ops:
             channel = self.geometry.channel_of(op.plane)
@@ -474,15 +611,24 @@ class EmmcDevice:
             # Controller processing (mapping lookup, command issue) is a
             # single serialized resource -- the structural reason per-op
             # counts matter as much as bytes on eMMC-class hardware.
-            _, issue = self.controller.reserve(start, self.latency.ftl_overhead_us)
+            issue_start, issue = self.controller.reserve(
+                start, self.latency.ftl_overhead_us
+            )
             copyback = self.config.gc_copyback and op.gc
+            transfer_window = None
+            retries: tuple = ()
             if op.op_type is FlashOpType.READ:
-                _, die_end = self.units.reserve(die, issue, timing.read_us)
+                code = 0
+                unit_start, die_end = self.units.reserve(die, issue, timing.read_us)
+                unit_window = (unit_start, die_end)
                 uncorrectable = False
                 if self.faults is not None and self.faults.read_active:
+                    retry_windows = [] if record else None
                     die_end, uncorrectable = self._inject_read_faults(
-                        die, die_end, timing
+                        die, die_end, timing, retry_windows
                     )
+                    if record and retry_windows:
+                        retries = tuple(retry_windows)
                 if copyback or uncorrectable:
                     # Copyback: data stays in the plane's page register.
                     # Uncorrectable: there is no good data to transfer --
@@ -492,35 +638,52 @@ class EmmcDevice:
                     transfer_start, transfer_end = self.channels.reserve(
                         channel, die_end, self.latency.transfer_us(op.payload_bytes)
                     )
+                    transfer_window = (transfer_start, transfer_end)
                     op_finish = transfer_end
                     self.stats.busy_transfer_us += transfer_end - transfer_start
                 self.stats.busy_read_us += timing.read_us
                 self.stats.record_op_counts(op.kind, reads=1)
             elif op.op_type is FlashOpType.PROGRAM:
+                code = 1
                 if copyback:
-                    _, die_end = self.units.reserve(die, issue, timing.program_us)
+                    unit_start, die_end = self.units.reserve(
+                        die, issue, timing.program_us
+                    )
                     op_finish = die_end
                 else:
                     transfer_start, transfer_end = self.channels.reserve(
                         channel, issue, self.latency.transfer_us(op.payload_bytes)
                     )
-                    _, die_end = self.units.reserve(
+                    transfer_window = (transfer_start, transfer_end)
+                    unit_start, die_end = self.units.reserve(
                         die, transfer_end, timing.program_us
                     )
                     op_finish = die_end
                     self.stats.busy_transfer_us += transfer_end - transfer_start
+                unit_window = (unit_start, die_end)
                 self.stats.busy_program_us += timing.program_us
                 self.stats.record_op_counts(op.kind, programs=1)
             else:  # ERASE
-                _, die_end = self.units.reserve(die, issue, self.latency.erase_us)
+                code = 2
+                unit_start, die_end = self.units.reserve(
+                    die, issue, self.latency.erase_us
+                )
+                unit_window = (unit_start, die_end)
                 op_finish = die_end
                 self.stats.erases += 1
                 self.stats.busy_erase_us += self.latency.erase_us
+            if record:
+                legs.append((
+                    op.gc, code, die, channel, issue_start, issue,
+                    unit_window, transfer_window, retries, op_finish,
+                ))
             if op_finish > finish:
                 finish = op_finish
         return finish
 
-    def _inject_read_faults(self, die: int, die_end: float, timing):
+    def _inject_read_faults(
+        self, die: int, die_end: float, timing, retry_windows=None
+    ):
         """Bounded ECC-retry loop for one page read; returns (end, fatal).
 
         Each failed attempt is retried after a linearly growing backoff
@@ -530,6 +693,9 @@ class EmmcDevice:
         extend the request's service time through the ordinary timeline
         arithmetic.  After ``read_retry_limit`` failed retries the read is
         declared uncorrectable (the caller skips the data transfer).
+
+        ``retry_windows`` (telemetry enabled only) receives each retry
+        read's reserved ``(start, end)`` window.
         """
         failures = self.faults.read_failures()
         if failures == 0:
@@ -542,6 +708,8 @@ class EmmcDevice:
             self.kernel.schedule(
                 start, kind=EventKind.FAULT_RETRY, label=f"ecc-retry-{attempt}"
             )
+            if retry_windows is not None:
+                retry_windows.append((start, die_end))
             self.stats.read_retries += 1
             self.stats.read_retry_backoff_us += backoff
             self.stats.busy_read_us += timing.read_us
@@ -598,11 +766,20 @@ class EmmcDevice:
                         self.stats.record_op_counts(op.kind, reads=1)
                     elif op.op_type is FlashOpType.PROGRAM:
                         self.stats.record_op_counts(op.kind, programs=1)
+        if self.telemetry is not None and results:
+            self.telemetry.add_event(
+                "idle-gc", event.time_us, cat="gc", track="power",
+                args=len(results),
+            )
 
     def _fire_power_down(self, event: Event) -> None:
         """The device has been idle ``power_threshold_us``: power down."""
         self._power_down_timer = None
         self.power.sleep(event.time_us)
+        if self.telemetry is not None:
+            self.telemetry.add_event(
+                "power-down", event.time_us, cat="power", track="power"
+            )
 
     # -- accounting --------------------------------------------------------------------
 

@@ -88,6 +88,17 @@ class Ftl:
             self.bad_blocks = BadBlockManager(self.faults.plan.spare_blocks_per_plane)
             self.gc.faults = self.faults
             self.gc.bad_blocks = self.bad_blocks
+        # Telemetry (structurally absent by default): the owning device
+        # attaches its sink plus the kernel clock so FTL-internal moments
+        # (GC victims, bad-block retirements) surface as instant events
+        # stamped with the sim time of the request being served.
+        self.telemetry = None
+        self._telemetry_clock = None
+
+    def attach_telemetry(self, sink, clock) -> None:
+        """Record FTL instants (GC, remap) into ``sink``, timed by ``clock``."""
+        self.telemetry = sink
+        self._telemetry_clock = clock
 
     # -- write path ----------------------------------------------------------
 
@@ -123,6 +134,14 @@ class Ftl:
                         plane, group.kind, block, self.allocator, self.mapping
                     )
                 )
+                if self.telemetry is not None:
+                    self.telemetry.add_event(
+                        "bad-block-remap",
+                        self._telemetry_clock.now_us,
+                        cat="ftl",
+                        track="ftl",
+                        args=(plane.plane_id, block.block_id),
+                    )
             page_index = block.program(group.lpns)
             for slot, lpn in enumerate(group.lpns):
                 if lpn is None:
@@ -136,6 +155,14 @@ class Ftl:
             )
             data_bytes += group.data_slots * (group.kind.bytes // group.kind.slots)
             flash_bytes += group.kind.bytes
+        if self.telemetry is not None:
+            self.telemetry.add_event(
+                "ftl-write",
+                self._telemetry_clock.now_us,
+                cat="ftl",
+                track="ftl",
+                args=(len(ops), flash_bytes),
+            )
         return WriteOutcome(
             ops=ops, data_bytes=data_bytes, flash_bytes=flash_bytes, gc_results=gc_results
         )
@@ -168,6 +195,14 @@ class Ftl:
             gc_results.append(result)
             self.gc_results_total += 1
             self.gc_migrated_slots += result.migrated_slots
+            if self.telemetry is not None:
+                self.telemetry.add_event(
+                    "gc-collect",
+                    self._telemetry_clock.now_us,
+                    cat="gc",
+                    track="ftl",
+                    args=(plane.plane_id, result.migrated_slots),
+                )
         if self.wear_leveler is not None:
             leveled = self.wear_leveler.maybe_level(
                 plane, kind, self.gc, self.allocator, self.mapping
@@ -210,6 +245,14 @@ class Ftl:
             FlashOp(FlashOpType.READ, plane, kind, grouped[(plane, kind, block, page)] * slot_bytes[kind])
             for plane, kind, block, page in order
         ]
+        if self.telemetry is not None:
+            self.telemetry.add_event(
+                "ftl-read",
+                self._telemetry_clock.now_us,
+                cat="ftl",
+                track="ftl",
+                args=(len(ops), preloaded),
+            )
         return ReadOutcome(ops=ops, preloaded_pages=preloaded)
 
     def _preload(self, lpn: int) -> PhysicalLocation:

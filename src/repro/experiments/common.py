@@ -219,6 +219,23 @@ def _fault_plan_from_env():
     return FaultPlan.profile(profile)
 
 
+def _telemetry_from_env():
+    """A fresh :class:`~repro.telemetry.Telemetry` sink when enabled by env.
+
+    ``$REPRO_TELEMETRY`` unset/empty/``0``/``off``/``none``/``false``
+    leaves the replay path structurally unchanged (``telemetry=None`` on
+    the device, no recording branches).  Any other value attaches a
+    fresh per-replay sink; the digest-parity suite runs the whole
+    experiment battery both ways and asserts bit-identical results.
+    """
+    value = os.environ.get("REPRO_TELEMETRY", "")
+    if value.lower() in ("", "0", "off", "none", "false"):
+        return None
+    from repro.telemetry import Telemetry
+
+    return Telemetry()
+
+
 def replay_on(config: DeviceConfig, trace: Trace, faults=None) -> ReplayResult:
     """Replay ``trace`` open-loop on a brand-new device built from ``config``.
 
@@ -232,6 +249,9 @@ def replay_on(config: DeviceConfig, trace: Trace, faults=None) -> ReplayResult:
     ``None`` it is sourced from ``$REPRO_FAULT_PROFILE``, so a whole
     experiment sweep can be rerun under a fault profile without touching
     any call site.  An inactive plan is dropped by the device itself.
+    ``$REPRO_TELEMETRY`` likewise attaches a per-replay telemetry sink
+    (see :func:`_telemetry_from_env`) -- recording only, never a
+    behaviour change.
 
     Columnar wiring: generated traces arrive here already carrying their
     struct-of-arrays view (adopted at synthesis time), and
@@ -241,7 +261,9 @@ def replay_on(config: DeviceConfig, trace: Trace, faults=None) -> ReplayResult:
     """
     if faults is None:
         faults = _fault_plan_from_env()
-    return Host(EmmcDevice(config, faults=faults)).replay(trace.without_timing())
+    telemetry = _telemetry_from_env()
+    device = EmmcDevice(config, faults=faults, telemetry=telemetry)
+    return Host(device).replay(trace.without_timing())
 
 
 def replayed_individual(

@@ -28,6 +28,7 @@ so nothing non-picklable crosses the process boundary.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import random
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -40,6 +41,12 @@ from . import registry
 from .cache import CacheStats, NullCache, ResultCache
 from .common import ExperimentResult
 from .spec import COST_CLASSES, ExperimentSpec
+
+#: One wall measurement from a task: (label, started_s, ended_s, pid).
+#: Endpoints are ``time.perf_counter()`` seconds -- CLOCK_MONOTONIC on
+#: Linux, system-wide, so worker-process endpoints are directly
+#: comparable with the parent's run origin.
+WallPoint = Tuple[str, float, float, int]
 
 
 @dataclass
@@ -108,21 +115,23 @@ def _worker_init(seed: int) -> None:
 
 def _run_whole(
     experiment_id: str, seed: int, num_requests: Optional[int]
-) -> Tuple[ExperimentResult, float]:
+) -> Tuple[ExperimentResult, float, WallPoint]:
     spec = registry.get_spec(experiment_id)
     started = time.perf_counter()
     result = spec.call(seed, num_requests)
-    return result, time.perf_counter() - started
+    ended = time.perf_counter()
+    return result, ended - started, ("run", started, ended, os.getpid())
 
 
 def _run_shard(
     experiment_id: str, unit: str, seed: int, num_requests: Optional[int]
-) -> Tuple[str, object, float]:
+) -> Tuple[str, object, float, WallPoint]:
     spec = registry.get_spec(experiment_id)
     assert spec.shards is not None
     started = time.perf_counter()
     payload = spec.shards.worker(unit, seed, num_requests)
-    return unit, payload, time.perf_counter() - started
+    ended = time.perf_counter()
+    return unit, payload, ended - started, (unit, started, ended, os.getpid())
 
 
 def _pool_context():
@@ -158,15 +167,19 @@ def _topological_waves(specs: Sequence[ExperimentSpec]) -> List[List[ExperimentS
     return waves
 
 
+#: A wave entry: (result, serial-equivalent seconds, shard count, wall points).
+_Computed = Tuple[ExperimentResult, float, int, List[WallPoint]]
+
+
 def _execute_wave_serial(
     wave: Sequence[ExperimentSpec],
     seed: int,
     num_requests: Optional[int],
-) -> Dict[str, Tuple[ExperimentResult, float, int]]:
-    computed: Dict[str, Tuple[ExperimentResult, float, int]] = {}
+) -> Dict[str, _Computed]:
+    computed: Dict[str, _Computed] = {}
     for spec in wave:
-        result, duration = _run_whole(spec.experiment_id, seed, num_requests)
-        computed[spec.experiment_id] = (result, duration, 0)
+        result, duration, wall = _run_whole(spec.experiment_id, seed, num_requests)
+        computed[spec.experiment_id] = (result, duration, 0, [wall])
     return computed
 
 
@@ -175,7 +188,7 @@ def _execute_wave_parallel(
     wave: Sequence[ExperimentSpec],
     seed: int,
     num_requests: Optional[int],
-) -> Dict[str, Tuple[ExperimentResult, float, int]]:
+) -> Dict[str, _Computed]:
     whole_futures = {}
     shard_futures = {}
     shard_counts: Dict[str, int] = {}
@@ -196,20 +209,23 @@ def _execute_wave_parallel(
         experiment_id: {} for experiment_id in shard_counts
     }
     compute: Dict[str, float] = {spec.experiment_id: 0.0 for spec in wave}
-    computed: Dict[str, Tuple[ExperimentResult, float, int]] = {}
+    walls: Dict[str, List[WallPoint]] = {spec.experiment_id: [] for spec in wave}
+    computed: Dict[str, _Computed] = {}
     pending = set(whole_futures) | set(shard_futures)
     while pending:
         finished, pending = wait(pending, return_when=FIRST_COMPLETED)
         for future in finished:
             if future in whole_futures:
                 experiment_id = whole_futures[future]
-                result, duration = future.result()
-                computed[experiment_id] = (result, duration, 0)
+                result, duration, wall = future.result()
+                walls[experiment_id].append(wall)
+                computed[experiment_id] = (result, duration, 0, walls[experiment_id])
             else:
                 experiment_id = shard_futures[future]
-                unit, payload, duration = future.result()
+                unit, payload, duration, wall = future.result()
                 payloads[experiment_id][unit] = payload
                 compute[experiment_id] += duration
+                walls[experiment_id].append(wall)
                 if len(payloads[experiment_id]) == shard_counts[experiment_id]:
                     # All shards in: merge deterministically in the parent.
                     spec = registry.get_spec(experiment_id)
@@ -217,13 +233,58 @@ def _execute_wave_parallel(
                     result = spec.shards.merge(
                         payloads[experiment_id], seed, num_requests
                     )
-                    merge_s = time.perf_counter() - merge_started
+                    merge_ended = time.perf_counter()
+                    walls[experiment_id].append(
+                        ("merge", merge_started, merge_ended, os.getpid())
+                    )
                     computed[experiment_id] = (
                         result,
-                        compute[experiment_id] + merge_s,
+                        compute[experiment_id] + (merge_ended - merge_started),
                         shard_counts[experiment_id],
+                        walls[experiment_id],
                     )
     return computed
+
+
+def _emit_wall_spans(
+    sink,
+    spec: ExperimentSpec,
+    walls: Sequence[WallPoint],
+    shards: int,
+    origin_s: float,
+) -> None:
+    """Record one experiment's wall-clock spans on the runner's sink.
+
+    The experiment gets a parent span on the ``experiments`` track
+    covering first-start to last-end; each task (shard, whole run,
+    merge) becomes a child span on a per-worker ``worker-PID`` track.
+    Wall spans are real time -- deliberately outside the byte-identity
+    contract sim-time spans live under.
+    """
+    if not walls:
+        return
+    ordered = sorted(walls, key=lambda wall: wall[1])
+    parent = sink.add_wall_span(
+        spec.experiment_id,
+        ordered[0][1],
+        max(wall[2] for wall in ordered),
+        cat="experiment",
+        track="experiments",
+        origin_s=origin_s,
+    )
+    if shards == 0 and len(ordered) == 1:
+        label, started, ended, pid = ordered[0]
+        sink.add_wall_span(
+            f"{spec.experiment_id}:{label}", started, ended,
+            cat="task", track=f"worker-{pid}", parent=parent, origin_s=origin_s,
+        )
+        return
+    for label, started, ended, pid in ordered:
+        sink.add_wall_span(
+            f"{spec.experiment_id}:{label}", started, ended,
+            cat="merge" if label == "merge" else "shard",
+            track=f"worker-{pid}", parent=parent, origin_s=origin_s,
+        )
 
 
 def execute(
@@ -232,12 +293,19 @@ def execute(
     num_requests: Optional[int] = None,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    wall_sink=None,
 ) -> RunSummary:
     """Run ``ids`` (default: everything) and return results + telemetry.
 
     ``jobs=1`` runs in-process with no pool; ``jobs>1`` shards across a
     ``ProcessPoolExecutor``.  Either way the results are bit-identical and
     ordered by selection (paper) order.  ``cache=None`` disables caching.
+
+    ``wall_sink`` is an optional :class:`repro.telemetry.Telemetry`
+    recording the run's wall-clock shape: one span per experiment, one
+    child span per task on a per-worker track, and a ``cache-hit`` /
+    ``cache-miss`` instant per cache probe.  Timestamps are microseconds
+    since this call started.  Recording never affects results.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -252,6 +320,13 @@ def execute(
     to_compute: List[ExperimentSpec] = []
     for spec in specs:
         cached = cache.load(spec, seed, num_requests)
+        if wall_sink is not None:
+            wall_sink.add_event(
+                spec.experiment_id,
+                (time.perf_counter() - run_started) * 1e6,
+                cat="cache-hit" if cached is not None else "cache-miss",
+                track="cache",
+            )
         if cached is not None:
             results_by_id[spec.experiment_id] = cached
             telemetry_by_id[spec.experiment_id] = ExperimentTelemetry(
@@ -284,7 +359,11 @@ def execute(
                     computed = _execute_wave_parallel(pool, wave, seed, num_requests)
                 wave_wall = time.perf_counter() - wave_started
                 for spec in wave:
-                    result, compute_s, shards = computed[spec.experiment_id]
+                    result, compute_s, shards, walls = computed[spec.experiment_id]
+                    if wall_sink is not None:
+                        _emit_wall_spans(
+                            wall_sink, spec, walls, shards, run_started
+                        )
                     results_by_id[spec.experiment_id] = result
                     telemetry_by_id[spec.experiment_id] = ExperimentTelemetry(
                         experiment_id=spec.experiment_id,

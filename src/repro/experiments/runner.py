@@ -92,6 +92,7 @@ def _profiled_execute(
     specs: List[ExperimentSpec],
     seed: int,
     num_requests: Optional[int],
+    wall_sink=None,
 ) -> "tuple[parallel.RunSummary, Dict[str, List[str]]]":
     """Run each experiment serially under cProfile; merge into one summary.
 
@@ -112,6 +113,7 @@ def _profiled_execute(
             num_requests=num_requests,
             jobs=1,
             cache=NullCache(),
+            wall_sink=wall_sink,
         )
         profiler.disable()
         profiles[spec.experiment_id] = _top_cumulative(profiler)
@@ -171,6 +173,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help=(
+            "record the run's wall-clock telemetry (per-experiment and "
+            "per-shard spans, cache hit/miss events) and write DIR/"
+            "experiments-trace.json (chrome://tracing) + DIR/flame.txt"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list the registered experiments and exit"
     )
     return parser
@@ -189,11 +201,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(error.args[0], file=sys.stderr)
         return 2
     cache = NullCache() if args.no_cache else ResultCache(cache_dir=args.cache_dir)
+    wall_sink = None
+    if args.telemetry:
+        from repro.telemetry import Telemetry
+
+        wall_sink = Telemetry()
+        wall_sink.meta["seed"] = args.seed
+        wall_sink.meta["jobs"] = args.jobs
+        wall_sink.meta["num_requests"] = num_requests or "full"
 
     started = time.time()
     profiles: Optional[Dict[str, List[str]]] = None
     if args.profile:
-        summary, profiles = _profiled_execute(specs, args.seed, num_requests)
+        summary, profiles = _profiled_execute(
+            specs, args.seed, num_requests, wall_sink=wall_sink
+        )
     else:
         summary = parallel.execute(
             ids=[spec.experiment_id for spec in specs],
@@ -201,6 +223,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             num_requests=num_requests,
             jobs=args.jobs,
             cache=cache,
+            wall_sink=wall_sink,
         )
     reports: List[str] = []
     structured: Dict[str, object] = {}
@@ -230,6 +253,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"\n[profile: {experiment_id}]")
             for line in lines:
                 print(line)
+    if wall_sink is not None:
+        import os
+
+        from repro.telemetry import chrome_trace, flame_summary
+
+        os.makedirs(args.telemetry, exist_ok=True)
+        trace_path = os.path.join(args.telemetry, "experiments-trace.json")
+        chrome_trace(wall_sink, trace_path)
+        with open(os.path.join(args.telemetry, "flame.txt"), "w") as handle:
+            handle.write(flame_summary(wall_sink) + "\n")
+        print(f"[telemetry: {trace_path} (load in chrome://tracing)]")
     if args.output:
         with open(args.output, "w") as handle:
             handle.write("\n\n".join(reports) + "\n")

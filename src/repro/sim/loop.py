@@ -15,14 +15,19 @@ Two drain styles:
   whole-trace replay and stack runs, where a trailing idle-GC or
   power-down deadline after the last request must not fire.
 
-The loop records an optional event trace (``record_events=True``) so
-tests can assert *identical event order* across runs and processes.
+The loop records an optional event trace so tests can assert *identical
+event order* across runs and processes.  Recording goes through a
+:class:`repro.telemetry.Telemetry` sink (``kernel_events``); the old
+``record_events`` flag and ``event_trace`` list survive as a thin
+compatibility shim over an auto-created sink.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
+
+from repro.telemetry import Telemetry
 
 from .clock import SimClock, SimTimeError
 from .events import Event, EventKind
@@ -50,21 +55,85 @@ class SimInterrupt(RuntimeError):
 class EventLoop:
     """Deterministic discrete-event scheduler around a :class:`SimClock`."""
 
-    def __init__(self, start_us: float = 0.0, record_events: bool = False) -> None:
+    def __init__(
+        self,
+        start_us: float = 0.0,
+        record_events: bool = False,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.clock = SimClock(start_us)
         self._heap: List[Event] = []
         self._seq = 0
         #: Pending non-timer events (arrivals, completions, app ops).
         self._material_pending = 0
-        #: Telemetry: events processed / scheduled / canceled so far.
+        #: Counters: events processed / scheduled / canceled so far.
         self.processed = 0
         self.scheduled = 0
         self.cancellations = 0
-        self.record_events = record_events
-        self.event_trace: List[TracePoint] = []
+        #: Telemetry sink; ``None`` = nothing recorded (the hot path takes
+        #: no recording branch).  ``record_events=True`` without an
+        #: explicit sink auto-creates a private one (the legacy shim).
+        self.telemetry = telemetry
+        self._auto_sink = False
+        if record_events and telemetry is None:
+            self.telemetry = Telemetry()
+            self._auto_sink = True
         #: Interrupt (power-loss) deadline: raise before firing event number
         #: ``_interrupt_before`` (0-based count of processed events).
         self._interrupt_before: Optional[int] = None
+
+    # -- event-trace recording (telemetry sink + compatibility shim) -------------
+
+    @property
+    def record_events(self) -> bool:
+        """Whether fired events are being recorded (a sink is attached)."""
+        return self.telemetry is not None
+
+    @record_events.setter
+    def record_events(self, value: bool) -> None:
+        """Legacy switch: toggle recording onto a private auto-sink.
+
+        Setting ``True`` attaches a fresh private sink if none is
+        present; setting ``False`` detaches only an auto-created sink --
+        an explicitly attached device/session sink is never silently
+        dropped by the legacy flag.
+        """
+        if value:
+            if self.telemetry is None:
+                self.telemetry = Telemetry()
+                self._auto_sink = True
+        elif self._auto_sink:
+            self.telemetry = None
+            self._auto_sink = False
+
+    @property
+    def event_trace(self) -> List[TracePoint]:
+        """Recorded kernel events (the attached sink's ``kernel_events``).
+
+        The live list, not a copy -- appends by ``_fire`` are visible to
+        holders.  Empty when no sink is attached.
+        """
+        if self.telemetry is None:
+            return []
+        return self.telemetry.kernel_events
+
+    #: Alias: the telemetry-era name for the same recorded-event list.
+    recorded_events = event_trace
+
+    def successor(self, start_us: float) -> "EventLoop":
+        """A fresh loop continuing this one's recording policy.
+
+        Used by power-loss recovery: an explicitly attached sink (device
+        telemetry) survives the power cycle -- spans are replay-lifetime
+        state like ``DeviceStats`` -- while a legacy auto-sink is
+        replaced by an empty one, preserving the old semantics that
+        ``event_trace`` holds post-recovery events only.
+        """
+        if self.telemetry is None:
+            return EventLoop(start_us=start_us)
+        if self._auto_sink:
+            return EventLoop(start_us=start_us, record_events=True)
+        return EventLoop(start_us=start_us, telemetry=self.telemetry)
 
     # -- introspection -----------------------------------------------------------
 
@@ -155,8 +224,8 @@ class EventLoop:
         if not event.kind.is_timer:
             self._material_pending -= 1
         self.processed += 1
-        if self.record_events:
-            self.event_trace.append(
+        if self.telemetry is not None:
+            self.telemetry.kernel_events.append(
                 (event.time_us, event.kind.priority, event.seq,
                  event.kind.name, event.label)
             )

@@ -1,0 +1,157 @@
+"""Chrome-trace (Trace Event Format) exporter.
+
+Writes the JSON Array-with-metadata flavour that ``chrome://tracing``
+and Perfetto's legacy importer both load directly::
+
+    from repro.telemetry import chrome_trace
+    chrome_trace(sink, "out.json")     # then open chrome://tracing -> Load
+
+Mapping:
+
+* every distinct ``track`` becomes a thread (tid) of one process, named
+  via ``thread_name`` metadata and ordered by first appearance;
+* spans export as complete (``"ph": "X"``) events -- sim time is already
+  microseconds, the format's native unit, so timestamps pass through
+  untouched;
+* span parent links ride in ``args`` (``id``/``parent``), since the
+  format has no first-class nesting across tracks;
+* kernel events and instant events export as ``"ph": "i"`` instants
+  (kernel events on their own ``kernel`` track);
+* counters export as ``"ph": "C"`` counter samples.
+
+Output is deterministic: tracks are numbered in first-seen order,
+records are emitted in recording order, and the JSON is serialized with
+sorted keys and fixed separators -- byte-identical across runs and
+``PYTHONHASHSEED`` values whenever the recording itself is.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Union
+
+from .core import (
+    C_NAME,
+    C_TS,
+    C_VALUE,
+    E_ARGS,
+    E_CAT,
+    E_NAME,
+    E_TRACK,
+    E_TS,
+    S_CAT,
+    S_DUR,
+    S_NAME,
+    S_PARENT,
+    S_START,
+    S_TRACK,
+    Telemetry,
+)
+
+#: The single process id every track lives under.
+_PID = 1
+
+
+def chrome_trace_events(telemetry: Telemetry) -> List[dict]:
+    """The trace's event records, as JSON-ready dicts."""
+    tids: Dict[str, int] = {}
+
+    def tid_of(track: str) -> int:
+        key = track or "main"
+        if key not in tids:
+            tids[key] = len(tids) + 1
+        return tids[key]
+
+    records: List[dict] = []
+    for span_id, span in enumerate(telemetry.spans):
+        args = {"id": span_id}
+        if span[S_PARENT] >= 0:
+            args["parent"] = span[S_PARENT]
+        records.append({
+            "ph": "X",
+            "pid": _PID,
+            "tid": tid_of(span[S_TRACK]),
+            "name": span[S_NAME],
+            "cat": span[S_CAT] or "span",
+            "ts": span[S_START],
+            "dur": span[S_DUR],
+            "args": args,
+        })
+    for event in telemetry.events:
+        record = {
+            "ph": "i",
+            "s": "t",
+            "pid": _PID,
+            "tid": tid_of(event[E_TRACK]),
+            "name": event[E_NAME],
+            "cat": event[E_CAT] or "event",
+            "ts": event[E_TS],
+        }
+        if event[E_ARGS] is not None:
+            record["args"] = {"data": event[E_ARGS]}
+        records.append(record)
+    for time_us, priority, seq, kind, label in telemetry.kernel_events:
+        records.append({
+            "ph": "i",
+            "s": "t",
+            "pid": _PID,
+            "tid": tid_of("kernel"),
+            "name": label or kind,
+            "cat": "kernel",
+            "ts": time_us,
+            "args": {"kind": kind, "priority": priority, "seq": seq},
+        })
+    for counter in telemetry.counters:
+        records.append({
+            "ph": "C",
+            "pid": _PID,
+            "tid": tid_of("counters"),
+            "name": counter[C_NAME],
+            "ts": counter[C_TS],
+            "args": {"value": counter[C_VALUE]},
+        })
+
+    metadata: List[dict] = [{
+        "ph": "M",
+        "pid": _PID,
+        "name": "process_name",
+        "args": {"name": "repro"},
+    }]
+    for track, tid in tids.items():
+        metadata.append({
+            "ph": "M",
+            "pid": _PID,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": track},
+        })
+        metadata.append({
+            "ph": "M",
+            "pid": _PID,
+            "tid": tid,
+            "name": "thread_sort_index",
+            "args": {"sort_index": tid},
+        })
+    return metadata + records
+
+
+def chrome_trace_json(telemetry: Telemetry) -> str:
+    """The full trace document as a deterministic JSON string."""
+    document = {
+        "displayTimeUnit": "ms",
+        "metadata": dict(telemetry.meta),
+        "traceEvents": chrome_trace_events(telemetry),
+    }
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def chrome_trace(telemetry: Telemetry, destination: Union[str, IO[str]]) -> None:
+    """Write the trace document to a path or text file object."""
+    payload = chrome_trace_json(telemetry)
+    if hasattr(destination, "write"):
+        destination.write(payload)
+        destination.write("\n")
+        return
+    with open(destination, "w") as handle:
+        handle.write(payload)
+        handle.write("\n")

@@ -1,0 +1,75 @@
+"""Text flame summary: aggregate span time by parent-chain path.
+
+A terminal-friendly complement to the Chrome trace: each line is one
+distinct span *path* (names joined along parent links, root first) with
+its cumulative time, count, and share of the root total.  Sorted by
+cumulative time within each root so the hot paths read top-down::
+
+    flame: 2 roots, 5 paths, 1234.0us total root time
+    write                           1000.0us   55.0%  x 2
+      write;queue-wait               200.0us   11.0%  x 1
+    ...
+
+Deterministic: paths aggregate into insertion-ordered dicts keyed by
+first appearance, ties break on that order, and nothing depends on hash
+iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .core import S_DUR, S_NAME, S_PARENT, Telemetry
+
+
+def span_paths(telemetry: Telemetry) -> Dict[Tuple[str, ...], Tuple[int, float]]:
+    """Aggregate ``path -> (count, total_us)`` over every span.
+
+    A span's path is its parent chain's names, root first.  Parents are
+    always recorded before children (ids are emission-ordered), so one
+    forward pass resolves every chain.
+    """
+    paths: List[Tuple[str, ...]] = []
+    totals: Dict[Tuple[str, ...], List[float]] = {}
+    by_id: List[Tuple[str, ...]] = []
+    for span in telemetry.spans:
+        parent = span[S_PARENT]
+        prefix = by_id[parent] if parent >= 0 else ()
+        path = prefix + (span[S_NAME],)
+        by_id.append(path)
+        if path not in totals:
+            totals[path] = [0, 0.0]
+            paths.append(path)
+        entry = totals[path]
+        entry[0] += 1
+        entry[1] += span[S_DUR]
+    return {path: (totals[path][0], totals[path][1]) for path in paths}
+
+
+def flame_summary(telemetry: Telemetry, max_paths: int = 40) -> str:
+    """Render the aggregated paths as an indented text summary."""
+    aggregated = span_paths(telemetry)
+    if not aggregated:
+        return "flame: no spans recorded"
+    root_total = sum(
+        total for path, (_, total) in aggregated.items() if len(path) == 1
+    )
+    # Order: depth-first under each root, heaviest subtree first; stable
+    # on first-appearance for exact ties.
+    order = list(aggregated)
+    order.sort(key=lambda path: (path[:1], -aggregated[path][1], path))
+    lines = [
+        f"flame: {sum(1 for p in aggregated if len(p) == 1)} roots, "
+        f"{len(aggregated)} paths, {root_total:.1f}us total root time"
+    ]
+    width = max(len(";".join(path)) + 2 * (len(path) - 1) for path in order)
+    for path in order[:max_paths]:
+        count, total = aggregated[path]
+        share = (total / root_total * 100.0) if root_total > 0 else 0.0
+        label = "  " * (len(path) - 1) + ";".join(path)
+        lines.append(
+            f"{label:<{width}}  {total:>14.1f}us  {share:>5.1f}%  x {count}"
+        )
+    if len(order) > max_paths:
+        lines.append(f"... {len(order) - max_paths} more paths")
+    return "\n".join(lines)

@@ -13,6 +13,7 @@ from repro.emmc import EmmcDevice, small_four_ps
 from repro.faults import FaultPlan
 from repro.replay import FastPathUnavailable, decide, maybe_fast_replay
 from repro.sim import EventLoop, Host
+from repro.telemetry import Telemetry
 from repro.trace import Op, Request, SECTOR, Trace
 
 
@@ -70,6 +71,11 @@ MATRIX = [
         "mapping scheme",
     ),
     ("recording_kernel", _recording_device, "event trace"),
+    (
+        "telemetry_sink",
+        lambda: EmmcDevice(small_four_ps(), telemetry=Telemetry()),
+        "telemetry",
+    ),
 ]
 
 IDS = [label for label, _, _ in MATRIX]

@@ -1,0 +1,127 @@
+"""The exact-decomposition property: components sum bit-identically.
+
+For every served request the recorded latency components (queue wait +
+wake-up + controller + channel + unit op + GC stall + retry backoff)
+must sum *float-exactly* -- left-to-right in the decomposition's own
+order -- to the response time the device reported.  Not approximately:
+``==`` on IEEE-754 doubles, for every request of every app trace and
+every device configuration exercised here.
+"""
+
+import pytest
+
+from repro.emmc import EmmcDevice, four_ps, small_four_ps
+from repro.faults import FaultPlan
+from repro.sim import Host
+from repro.telemetry import (
+    COMPONENTS,
+    LatencyDecomposition,
+    Telemetry,
+    decompose_request,
+)
+from repro.workloads import ALL_TRACES, generate_trace
+
+
+def _assert_exact(sink: Telemetry, stats) -> None:
+    assert len(sink.decompositions) == len(stats.response_us)
+    for index, dec in enumerate(sink.decompositions):
+        assert dec.total() == stats.response_us[index], (
+            f"request {index}: {dec.total()!r} != {stats.response_us[index]!r} "
+            f"({dec.as_dict()})"
+        )
+        # The queue component is exactly the reported wait time.
+        assert dec.components["queue"] == stats.wait_us[index]
+        for name, value in dec.components.items():
+            assert name in COMPONENTS
+            assert value >= 0.0, f"negative {name} component: {value}"
+        assert dec.order[:2] == ("queue", "wake")
+
+
+@pytest.mark.parametrize("app", ALL_TRACES)
+def test_every_app_trace_decomposes_exactly(app):
+    trace = generate_trace(app, seed=20150614, num_requests=160).without_timing()
+    sink = Telemetry()
+    result = Host(EmmcDevice(four_ps(), telemetry=sink)).replay(trace)
+    _assert_exact(sink, result.stats)
+
+
+#: Device configurations covering every latency component source:
+#: GC stalls (tight threshold, hybrid-log merges, copy-back), ECC retry
+#: backoff (fault plan), wake-up (long gaps), queueing (depth > 1) and a
+#: RAM buffer's absorbed-request path.
+CONFIGS = [
+    ("gc_heavy", dict(gc_threshold_blocks=6), None),
+    ("copyback_gc", dict(gc_copyback=True, gc_threshold_blocks=6), None),
+    ("hybrid_log", dict(mapping_scheme="hybrid-log"), None),
+    ("queue_depth_4", dict(queue_depth=4), None),
+    ("multi_plane", dict(multi_plane=True), None),
+    ("idle_gc", dict(idle_gc=True), None),
+    ("ram_buffer", dict(ram_buffer_bytes=64 * 1024), None),
+    ("ecc_retries", dict(), FaultPlan(seed=11, read_error_rate=0.2)),
+]
+
+
+@pytest.mark.parametrize(
+    "label,overrides,faults", CONFIGS, ids=[c[0] for c in CONFIGS]
+)
+def test_every_config_decomposes_exactly(label, overrides, faults):
+    trace = generate_trace(
+        "CameraVideo", seed=7, num_requests=400
+    ).without_timing()
+    sink = Telemetry()
+    device = EmmcDevice(
+        four_ps().with_overrides(**overrides), faults=faults, telemetry=sink
+    )
+    result = Host(device).replay(trace)
+    _assert_exact(sink, result.stats)
+
+
+def test_retry_component_is_nonzero_under_faults():
+    trace = generate_trace("Twitter", seed=3, num_requests=400).without_timing()
+    sink = Telemetry()
+    device = EmmcDevice(
+        small_four_ps(),
+        faults=FaultPlan(seed=11, read_error_rate=0.3),
+        telemetry=sink,
+    )
+    Host(device).replay(trace)
+    assert sum(d.components["retry"] for d in sink.decompositions) > 0.0
+
+
+def test_gc_component_is_nonzero_when_gc_runs():
+    trace = generate_trace(
+        "CameraVideo", seed=7, num_requests=400
+    ).without_timing()
+    sink = Telemetry()
+    device = EmmcDevice(
+        four_ps().with_overrides(mapping_scheme="hybrid-log"), telemetry=sink
+    )
+    Host(device).replay(trace)
+    assert sum(d.components["gc"] for d in sink.decompositions) > 0.0
+
+
+class TestDecomposeRequest:
+    def test_no_legs_charges_the_controller(self):
+        dec = decompose_request(0.0, 10.0, 10.0, 30.0, None)
+        assert dec.components["queue"] == 10.0
+        assert dec.components["controller"] == 20.0
+        assert dec.total() == dec.response_us == 30.0
+
+    def test_absorbed_write_with_wake(self):
+        dec = decompose_request(0.0, 5.0, 8.0, 9.5, [])
+        assert dec.components["wake"] == 3.0
+        assert dec.total() == 9.5
+
+    def test_awkward_floats_still_close_exactly(self):
+        # Values chosen so naive telescoping sums are off by an ulp.
+        arrival, dispatch = 0.1, 0.30000000000000004
+        start, finish = 0.7000000000000001, 1234.5678901234567
+        dec = decompose_request(arrival, dispatch, start, finish, None)
+        assert dec.total() == finish - arrival
+
+    def test_as_dict_is_canonically_ordered(self):
+        dec = decompose_request(0.0, 1.0, 2.0, 3.0, None)
+        assert isinstance(dec, LatencyDecomposition)
+        as_dict = dec.as_dict()
+        assert tuple(as_dict) == COMPONENTS
+        assert sorted(dec.order) == sorted(COMPONENTS)

@@ -1,14 +1,17 @@
-"""Machine-readable performance report for the replay fast path (PR 8).
+"""Machine-readable performance report for replay and telemetry.
 
-Measures three headline numbers and writes them to ``BENCH_PR8.json``
+Measures four headline numbers and writes them to ``BENCH_PR9.json``
 (CI uploads the file as a build artifact)::
 
-    PYTHONHASHSEED=0 PYTHONPATH=src python tools/bench_report.py --out BENCH_PR8.json
+    PYTHONHASHSEED=0 PYTHONPATH=src python tools/bench_report.py --out BENCH_PR9.json
 
 * **replay** -- single-trace qd=1 replay throughput (requests/s) on the
   event kernel vs the two-pass fast path;
 * **battery** -- the Fig. 8 benchmark battery (six traces x three
   schemes) wall milliseconds, kernel vs fast;
+* **telemetry** -- kernel replay battery with no sink vs a recording
+  :class:`~repro.telemetry.Telemetry` sink (the enabled-overhead factor
+  guarded by ``benchmarks/test_bench_telemetry.py``);
 * **sweep** -- wall seconds of a quick experiment sweep with the
   dispatcher in its default (``auto``) mode.
 
@@ -105,6 +108,50 @@ def bench_battery(requests, seed, rounds):
     }
 
 
+def bench_telemetry(apps, requests, seed, rounds):
+    """Kernel replay battery: no sink vs a recording telemetry sink."""
+    from repro.emmc import EmmcDevice, four_ps
+    from repro.sim import Host
+    from repro.telemetry import Telemetry
+    from repro.workloads import generate_trace
+
+    config = four_ps()
+    traces = [
+        generate_trace(app, seed=seed, num_requests=requests).without_timing()
+        for app in apps
+    ]
+
+    def battery(with_sink):
+        spans = 0
+        for trace in traces:
+            sink = Telemetry() if with_sink else None
+            Host(EmmcDevice(config, telemetry=sink)).replay(trace)
+            if sink is not None:
+                spans += len(sink.spans)
+        return spans
+
+    # Both modes pin the kernel: the sink forces it anyway, and timing
+    # kernel-to-kernel isolates the recording cost itself.
+    disabled_best = enabled_best = float("inf")
+    spans = 0
+    with _fastpath("off"):
+        for _ in range(rounds):
+            started = time.perf_counter()
+            battery(with_sink=False)
+            disabled_best = min(disabled_best, time.perf_counter() - started)
+            started = time.perf_counter()
+            spans = battery(with_sink=True)
+            enabled_best = min(enabled_best, time.perf_counter() - started)
+    return {
+        "apps": list(apps),
+        "requests": requests,
+        "disabled_ms": round(disabled_best * 1e3, 1),
+        "enabled_ms": round(enabled_best * 1e3, 1),
+        "slowdown": round(enabled_best / disabled_best, 2),
+        "spans_per_run": spans,
+    }
+
+
 def bench_sweep(ids, num_requests, seed):
     """Wall seconds of a quick sweep with the dispatcher on auto."""
     from repro.experiments import parallel
@@ -125,12 +172,15 @@ def bench_sweep(ids, num_requests, seed):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR8.json")
+    parser.add_argument("--out", default="BENCH_PR9.json")
     parser.add_argument("--rounds", type=int, default=3,
                         help="interleaved repetitions per mode (default 3)")
     parser.add_argument("--seed", type=int, default=2015)
     parser.add_argument("--replay-requests", type=int, default=4000)
     parser.add_argument("--battery-requests", type=int, default=2500)
+    parser.add_argument("--telemetry-apps", nargs="*",
+                        default=["Booting", "CameraVideo", "Twitter"])
+    parser.add_argument("--telemetry-requests", type=int, default=1200)
     parser.add_argument("--sweep-ids", nargs="*", default=["fig8", "fig9"],
                         help="experiments timed in the sweep section")
     parser.add_argument("--sweep-requests", type=int, default=1500)
@@ -140,6 +190,9 @@ def main(argv=None) -> int:
     report = {
         "replay": bench_replay("Booting", args.replay_requests, args.seed, args.rounds),
         "battery": bench_battery(args.battery_requests, args.seed, args.rounds),
+        "telemetry": bench_telemetry(
+            args.telemetry_apps, args.telemetry_requests, args.seed, args.rounds
+        ),
     }
     if not args.skip_sweep:
         report["sweep"] = bench_sweep(args.sweep_ids, args.sweep_requests, args.seed)
