@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Fleet simulation: a 500-device population with a mixed app workload.
+
+Runs in well under a minute with a few jobs::
+
+    python examples/fleet_simulation.py [--jobs N] [--quick]
+
+Builds a :class:`~repro.fleet.FleetScenario` whose devices split across
+an idle-dominated app mix (real phones spend most of their time in
+background churn, which is exactly what wears flash), simulates every
+device through the full eMMC stack, packs the per-device rows into a
+columnar fleet store, and prints the fleet rollup -- most importantly
+the wear percentiles and the projected days to end of life across the
+population.  The same scenario produces byte-identical stores for any
+``--jobs`` value.
+
+The request count is sized to the small development configs: their
+block pools are tiny, so the hottest devices run close to capacity --
+that is what makes the wear tail visible in a run this short.
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro.fleet import FleetScenario, fleet_report, open_fleet_store, run_fleet
+
+
+def build_scenario(devices: int, requests: int) -> FleetScenario:
+    return FleetScenario(
+        devices=devices,
+        name="mixed-population",
+        seed=7,
+        requests_per_device=requests,
+        apps={
+            "Idle": 3.0,
+            "Twitter": 2.0,
+            "Messaging": 1.5,
+            "Music": 1.0,
+        },
+        configs={"small-4PS": 1.0, "small-HPS": 1.0},
+        rate_factor_range=(0.5, 2.0),
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--devices", type=int, default=500)
+    parser.add_argument("--requests", type=int, default=800)
+    parser.add_argument("--jobs", "-j", type=int, default=1)
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="fleet store directory (default: a temporary directory)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shrink the fleet for a fast smoke run",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        args.devices, args.requests = 40, 25
+
+    scenario = build_scenario(args.devices, args.requests)
+    print(f"Simulating {scenario.devices} devices ({args.jobs} jobs) ...")
+    print(f"  {scenario.describe()}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = args.out if args.out is not None else Path(tmp) / "fleet"
+        result = run_fleet(scenario, out, jobs=args.jobs, overwrite=True)
+        print(
+            f"  simulated {result.devices} devices in {result.wall_s:.1f} s "
+            f"across {result.shards} shards"
+        )
+
+        store = open_fleet_store(out)
+        # p5 surfaces the worst-worn devices: days-to-EOL sorts the
+        # heavily worn (short-lived) tail to the low percentiles.
+        report = fleet_report(store, percentiles=(5.0, 50.0, 90.0, 99.0))
+        print()
+        print(report.render())
+        print()
+        wear = report.percentiles["max erase count"]
+        print(
+            "Wear percentiles across the fleet: "
+            f"p50={wear['p50']:.0f}, p90={wear['p90']:.0f}, "
+            f"p99={wear['p99']:.0f} erase cycles on the hottest block; "
+            "the worst 5% of devices reach end of life in "
+            f"{report.eol_days['p5']:.0f} days at this rate."
+        )
+        if args.out is not None:
+            print(f"Fleet store kept at {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -66,6 +66,25 @@ class DeviceStats:
     remap_migrated_slots: int = 0
     recoveries: int = 0
 
+    def reset(self) -> None:
+        """Return every counter to its just-constructed value.
+
+        Batch runners (the fleet executor, benchmark loops) reuse device
+        objects across replays; this is the explicit guarantee that no
+        statistic leaks from one replay into the next.
+        """
+        self.__init__()
+
+    @property
+    def fresh(self) -> bool:
+        """True iff no replay has touched these stats yet.
+
+        The fleet executor asserts this before every replay, so a device
+        accidentally carrying stats across replays fails loudly instead
+        of silently skewing fleet rows.
+        """
+        return vars(self) == vars(DeviceStats())
+
     def record_op_counts(self, kind: PageKind, reads: int = 0, programs: int = 0) -> None:
         """Accumulate per-kind read/program counters."""
         if reads:

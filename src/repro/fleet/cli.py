@@ -1,0 +1,259 @@
+"""``repro-fleet``: run, inspect and spot-check fleet simulations.
+
+Three subcommands::
+
+    repro-fleet run --devices 1000 --jobs 4 -o fleet/   # simulate a population
+    repro-fleet stats fleet/                            # fleet rollup report
+    repro-fleet show-device fleet/ 17 --resimulate      # one device, re-proved
+
+``run`` accepts either a scenario JSON file (``--scenario``) or inline
+population flags; mixes are ``name:weight`` lists, e.g. ``--apps
+"Twitter:2,Web:1,Music:1"``.  ``show-device --resimulate`` re-runs the
+device from the scenario embedded in the store manifest and compares its
+stats digest bit-for-bit against the stored row -- the user-facing proof
+of the fleet's per-device determinism contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from .executor import run_fleet, simulate_device
+from .population import device_spec
+from .report import DEFAULT_ERASE_BUDGET, DEFAULT_PERCENTILES, fleet_report
+from .scenario import FleetScenario
+from .store import FLEET_COLUMNS, FleetStoreError, open_fleet_store
+
+
+def _parse_mix(text: str) -> Dict[str, float]:
+    """``"Twitter:2,Web:1"`` (weight optional, default 1) -> mix dict."""
+    mix: Dict[str, float] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" in part:
+            name, _, weight = part.rpartition(":")
+            mix[name.strip()] = float(weight)
+        else:
+            mix[part] = 1.0
+    if not mix:
+        raise argparse.ArgumentTypeError(f"empty mix: {text!r}")
+    return mix
+
+
+def _parse_range(text: str) -> List[float]:
+    """``"0.5:2"`` -> [0.5, 2.0]."""
+    try:
+        lo, _, hi = text.partition(":")
+        return [float(lo), float(hi)]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected LO:HI, got {text!r}"
+        ) from None
+
+
+def _scenario_from_args(args: argparse.Namespace) -> FleetScenario:
+    if args.scenario is not None:
+        scenario = FleetScenario.load(args.scenario)
+        if args.devices is not None:
+            scenario = scenario.with_overrides(devices=args.devices)
+        if args.seed is not None:
+            scenario = scenario.with_overrides(seed=args.seed)
+        return scenario
+    kwargs: Dict[str, object] = {
+        "devices": args.devices if args.devices is not None else 100,
+        "name": args.name,
+        "seed": args.seed if args.seed is not None else 0,
+        "requests_per_device": args.requests,
+    }
+    if args.apps is not None:
+        kwargs["apps"] = args.apps
+    if args.configs is not None:
+        kwargs["configs"] = args.configs
+    if args.fault_profiles is not None:
+        kwargs["fault_profiles"] = args.fault_profiles
+    if args.rate_range is not None:
+        kwargs["rate_factor_range"] = tuple(args.rate_range)
+    if args.size_range is not None:
+        kwargs["size_factor_range"] = tuple(args.size_range)
+    return FleetScenario(**kwargs)  # type: ignore[arg-type]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        scenario = _scenario_from_args(args)
+    except (ValueError, OSError) as error:
+        print(f"bad scenario: {error}", file=sys.stderr)
+        return 2
+    wall_sink = None
+    if args.telemetry:
+        from repro.telemetry import Telemetry
+
+        wall_sink = Telemetry()
+        wall_sink.meta["scenario"] = scenario.name
+        wall_sink.meta["devices"] = scenario.devices
+        wall_sink.meta["jobs"] = args.jobs
+    print(f"fleet {scenario.name!r}: {scenario.describe()}")
+    try:
+        result = run_fleet(
+            scenario,
+            args.out,
+            jobs=args.jobs,
+            shard_devices=args.shard_devices,
+            chunk_devices=args.chunk_devices,
+            overwrite=args.force,
+            wall_sink=wall_sink,
+        )
+    except FleetStoreError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    rate = result.devices / result.wall_s if result.wall_s > 0 else 0.0
+    print(
+        f"simulated {result.devices} devices in {result.wall_s:.1f}s "
+        f"({rate:.1f} devices/s, {result.shards} shards, "
+        f"jobs={result.jobs}, speedup {result.speedup:.2f}x)"
+    )
+    print(f"fleet store written to {result.path}")
+    if wall_sink is not None:
+        from repro.telemetry import chrome_trace
+
+        chrome_trace(wall_sink, args.telemetry)
+        print(f"telemetry written to {args.telemetry}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    try:
+        store = open_fleet_store(args.store)
+        if args.verify:
+            store.verify()
+    except FleetStoreError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    report = fleet_report(
+        store,
+        percentiles=tuple(args.percentiles),
+        erase_budget=args.erase_budget,
+    )
+    if args.json:
+        from dataclasses import asdict
+
+        print(json.dumps(asdict(report), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
+def _cmd_show_device(args: argparse.Namespace) -> int:
+    try:
+        store = open_fleet_store(args.store)
+        row = store.device_row(args.index)
+    except (FleetStoreError, IndexError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    scenario = store.scenario()
+    spec = device_spec(scenario, args.index)
+    print(spec.describe())
+    for name, _ in FLEET_COLUMNS:
+        print(f"  {name:<22} {row[name]}")
+    if not args.resimulate:
+        return 0
+    fresh = simulate_device(scenario, spec)
+    mismatches = [
+        name
+        for name, _ in FLEET_COLUMNS
+        if fresh.row[name] != row[name]
+    ]
+    if mismatches:
+        print(
+            f"re-simulation MISMATCH on columns: {', '.join(mismatches)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"re-simulation matches: all {len(FLEET_COLUMNS)} columns equal, "
+        f"stats digest {fresh.digest[:16]}.. bit-identical"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fleet",
+        description="deterministic multi-device fleet simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate a device population into a fleet store")
+    run.add_argument("--scenario", default=None, metavar="FILE.json",
+                     help="load a FleetScenario JSON (inline flags override "
+                          "devices/seed)")
+    run.add_argument("--devices", type=int, default=None,
+                     help="population size (default 100, or the scenario's)")
+    run.add_argument("--name", default="fleet", help="scenario name")
+    run.add_argument("--seed", type=int, default=None, help="base fleet seed")
+    run.add_argument("--requests", type=int, default=400,
+                     help="requests per device (inline scenarios)")
+    run.add_argument("--apps", type=_parse_mix, default=None, metavar="MIX",
+                     help='app mix, e.g. "Twitter:2,Web:1,Music:1"')
+    run.add_argument("--configs", type=_parse_mix, default=None, metavar="MIX",
+                     help='device-config mix, e.g. "small-4PS:3,small-HPS:1"')
+    run.add_argument("--fault-profiles", type=_parse_mix, default=None,
+                     metavar="MIX", help='fault-profile mix, e.g. "none:9,flaky:1"')
+    run.add_argument("--rate-range", type=_parse_range, default=None,
+                     metavar="LO:HI", help="per-device rate factor range "
+                     "(log-uniform)")
+    run.add_argument("--size-range", type=_parse_range, default=None,
+                     metavar="LO:HI", help="per-device size factor range "
+                     "(log-uniform)")
+    run.add_argument("-o", "--out", required=True, metavar="DIR",
+                     help="fleet store output directory")
+    run.add_argument("-j", "--jobs", type=int, default=1,
+                     help="worker processes (results are identical for any value)")
+    run.add_argument("--shard-devices", type=int, default=32,
+                     help="devices per worker task")
+    run.add_argument("--chunk-devices", type=int, default=256,
+                     help="devices per store chunk file")
+    run.add_argument("-f", "--force", action="store_true",
+                     help="replace an existing fleet store at the destination")
+    run.add_argument("--telemetry", default=None, metavar="OUT.json",
+                     help="record wall-clock shard spans as a Chrome trace")
+    run.set_defaults(fn=_cmd_run)
+
+    stats = sub.add_parser("stats", help="fleet-level rollup report")
+    stats.add_argument("store", help="fleet store directory")
+    stats.add_argument("--percentiles", type=lambda s: [float(x) for x in s.split(",")],
+                       default=list(DEFAULT_PERCENTILES), metavar="P,P,...",
+                       help="percentile grid across devices")
+    stats.add_argument("--erase-budget", type=int, default=DEFAULT_ERASE_BUDGET,
+                       help="P/E-cycle budget for end-of-life projection")
+    stats.add_argument("--verify", action="store_true",
+                       help="re-hash every chunk against the manifest first")
+    stats.add_argument("--json", action="store_true",
+                       help="also print the report as JSON")
+    stats.set_defaults(fn=_cmd_stats)
+
+    show = sub.add_parser(
+        "show-device", help="one device's stored row (optionally re-proved)"
+    )
+    show.add_argument("store", help="fleet store directory")
+    show.add_argument("index", type=int, help="device index")
+    show.add_argument("--resimulate", action="store_true",
+                      help="re-simulate the device from the embedded scenario "
+                           "and compare bit-for-bit")
+    show.set_defaults(fn=_cmd_show_device)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

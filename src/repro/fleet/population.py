@@ -1,0 +1,177 @@
+"""Deterministic population sampling: device index -> device identity.
+
+:func:`device_spec` maps ``(scenario, index)`` to a :class:`DeviceSpec`
+-- which app the device runs, which hardware configuration it has, its
+per-device rate/size scaling and its fault profile -- using only the
+device's own ``sha256("fleet:{seed}:{index}")`` stream.  The draw order
+is fixed (app, config, fault profile, rate factor, size factor), so a
+spec is a pure function of ``(seed, index)``: re-sampling any one device
+in any process, under any ``PYTHONHASHSEED``, yields the same identity.
+
+The trace and fault seeds are *label-derived* (not drawn from the
+stream), so they do not shift when a new sampled field is added to the
+scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.trace import Trace
+from repro.workloads import generate_trace, scale_rate, scale_sizes
+
+from .scenario import CONFIG_FACTORIES, FleetScenario, derive_seed, device_stream
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.emmc.device import DeviceConfig
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One device's sampled identity inside a fleet."""
+
+    index: int
+    app: str
+    config_name: str
+    fault_profile: str
+    rate_factor: float
+    size_factor: float
+    trace_seed: int
+    fault_seed: int
+
+    def describe(self) -> str:
+        """One-line human summary for CLI output."""
+        parts = [
+            f"device {self.index}",
+            f"app={self.app}",
+            f"config={self.config_name}",
+        ]
+        if self.fault_profile != "none":
+            parts.append(f"faults={self.fault_profile}")
+        if self.rate_factor != 1.0:
+            parts.append(f"rate x{self.rate_factor:g}")
+        if self.size_factor != 1.0:
+            parts.append(f"size x{self.size_factor:g}")
+        return ", ".join(parts)
+
+
+def _edges(mix: Tuple[Tuple[str, float], ...]) -> List[Tuple[float, str]]:
+    """Cumulative normalized edges of a categorical mix, in mix order."""
+    total = sum(weight for _, weight in mix)
+    edges: List[Tuple[float, str]] = []
+    cumulative = 0.0
+    for name, weight in mix:
+        cumulative += weight / total
+        edges.append((cumulative, name))
+    return edges
+
+
+def _draw_categorical(stream: np.random.Generator, edges: List[Tuple[float, str]]) -> str:
+    """One uniform draw against the cumulative edges (last bin catches 1.0)."""
+    draw = stream.random()
+    for edge, name in edges:
+        if draw < edge:
+            return name
+    return edges[-1][1]
+
+
+def _draw_log_uniform(
+    stream: np.random.Generator, bounds: Optional[Tuple[float, float]]
+) -> float:
+    """A log-uniform factor in ``[lo, hi]``; 1.0 when no range is set.
+
+    No draw is taken for an unset range, mirroring the fault plan's
+    "structural absence" discipline: a scenario without scaling is
+    sampled identically whether the feature exists or not.
+    """
+    if bounds is None:
+        return 1.0
+    lo, hi = bounds
+    if lo == hi:
+        return float(lo)
+    return float(np.exp(stream.random() * (np.log(hi) - np.log(lo)) + np.log(lo)))
+
+
+def device_spec(scenario: FleetScenario, index: int) -> DeviceSpec:
+    """Sample device ``index``'s identity from its own stream."""
+    if not 0 <= index < scenario.devices:
+        raise ValueError(
+            f"device index {index} outside population [0, {scenario.devices})"
+        )
+    stream = device_stream(scenario.seed, index)
+    app = _draw_categorical(stream, _edges(scenario.apps))
+    config_name = _draw_categorical(stream, _edges(scenario.configs))
+    fault_profile = _draw_categorical(stream, _edges(scenario.fault_profiles))
+    rate_factor = _draw_log_uniform(stream, scenario.rate_factor_range)
+    size_factor = _draw_log_uniform(stream, scenario.size_factor_range)
+    return DeviceSpec(
+        index=index,
+        app=app,
+        config_name=config_name,
+        fault_profile=fault_profile,
+        rate_factor=rate_factor,
+        size_factor=size_factor,
+        trace_seed=derive_seed(scenario.seed, index, "trace"),
+        fault_seed=derive_seed(scenario.seed, index, "faults"),
+    )
+
+
+def iter_population(
+    scenario: FleetScenario, start: int = 0, stop: Optional[int] = None
+) -> Iterator[DeviceSpec]:
+    """Yield specs for device indices ``[start, stop)`` (default: all)."""
+    stop = scenario.devices if stop is None else stop
+    if not 0 <= start <= stop <= scenario.devices:
+        raise ValueError(f"bad device range [{start}, {stop}) for {scenario.devices}")
+    for index in range(start, stop):
+        yield device_spec(scenario, index)
+
+
+def population_counts(scenario: FleetScenario) -> Dict[str, Dict[str, int]]:
+    """Realized population composition: device counts per mix member."""
+    apps: Dict[str, int] = {name: 0 for name in scenario.app_names()}
+    configs: Dict[str, int] = {name: 0 for name in scenario.config_names()}
+    faults: Dict[str, int] = {name: 0 for name in scenario.fault_profile_names()}
+    for spec in iter_population(scenario):
+        apps[spec.app] += 1
+        configs[spec.config_name] += 1
+        faults[spec.fault_profile] += 1
+    return {"apps": apps, "configs": configs, "fault_profiles": faults}
+
+
+# -- building the simulation inputs from a spec --------------------------------
+
+
+def build_config(spec: DeviceSpec) -> "DeviceConfig":
+    """The device configuration this spec names (a fresh instance)."""
+    return CONFIG_FACTORIES[spec.config_name]()
+
+
+def build_fault_plan(spec: DeviceSpec) -> FaultPlan:
+    """The device's fault plan, seeded with its label-derived fault seed."""
+    return FaultPlan.profile(spec.fault_profile, seed=spec.fault_seed)
+
+
+def build_trace(scenario: FleetScenario, spec: DeviceSpec) -> Trace:
+    """Synthesize the device's workload: generate, then scale per-device.
+
+    The generator draws from streams derived from ``(app, trace_seed)``
+    -- independent of every other device -- and the scaling transforms
+    are deterministic column arithmetic, so the trace is a pure function
+    of ``(scenario, spec.index)``.
+    """
+    trace = generate_trace(
+        spec.app,
+        seed=spec.trace_seed,
+        num_requests=scenario.requests_per_device,
+        calibrate_temporal=scenario.calibrate_temporal,
+    )
+    if spec.rate_factor != 1.0:
+        trace = scale_rate(trace, spec.rate_factor)
+    if spec.size_factor != 1.0:
+        trace = scale_sizes(trace, spec.size_factor)
+    return trace

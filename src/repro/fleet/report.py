@@ -1,0 +1,183 @@
+"""Fleet-level rollups over a packed fleet store.
+
+Single-trace numbers do not drive design decisions at population scale;
+distributions across devices do.  :func:`fleet_report` reduces a fleet
+store's per-device rows to:
+
+* **percentiles across devices** for the headline metrics -- mean
+  response time, erase wear, GC activity, energy;
+* **per-app breakdowns** -- how each app population loads the device;
+* **end-of-life projections** -- days until the hottest block of each
+  device exhausts a P/E-cycle budget, assuming wear continues at the
+  observed rate, summarized as percentiles over the fleet.
+
+Everything here is pure arithmetic over the store columns (NumPy
+percentiles with the default linear interpolation), so reports are
+deterministic given the store bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .store import FleetStore
+
+#: Device-row columns summarized as fleet-wide percentiles, with display
+#: units: (column, report label, scale factor applied before reporting).
+PERCENTILE_COLUMNS: Tuple[Tuple[str, str, float], ...] = (
+    ("mean_response_us", "mean response (ms)", 1e-3),
+    ("max_response_us", "max response (ms)", 1e-3),
+    ("erases", "erases", 1.0),
+    ("max_erase", "max erase count", 1.0),
+    ("gc_collections", "GC collections", 1.0),
+    ("energy_uj", "energy (mJ)", 1e-3),
+)
+
+#: Default percentile grid across devices.
+DEFAULT_PERCENTILES: Tuple[float, ...] = (10.0, 50.0, 90.0, 99.0)
+
+#: Default flash endurance budget (P/E cycles per block) for end-of-life
+#: projections -- a typical MLC rating.
+DEFAULT_ERASE_BUDGET = 3000
+
+_US_PER_DAY = 86_400.0 * 1e6
+
+
+@dataclass
+class FleetReport:
+    """The fleet rollup: percentiles, per-app breakdowns, EOL projection."""
+
+    name: str
+    devices: int
+    total_requests: int
+    #: report label -> {"p50": ..., ...} plus "mean", in display units.
+    percentiles: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: app name -> summary row (device count, request/wear/latency means).
+    per_app: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: percentile label -> projected days to end of life (may be ``inf``).
+    eol_days: Dict[str, float] = field(default_factory=dict)
+    erase_budget: int = DEFAULT_ERASE_BUDGET
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines: List[str] = [
+            f"fleet {self.name!r}: {self.devices} devices, "
+            f"{self.total_requests} requests",
+            "",
+            "across devices:",
+        ]
+        for label, row in self.percentiles.items():
+            cells = "  ".join(f"{key}={value:.3f}" for key, value in row.items())
+            lines.append(f"  {label:<22} {cells}")
+        if self.per_app:
+            lines.append("")
+            lines.append("per app:")
+            header = (
+                f"  {'app':<14} {'devices':>7} {'requests':>9} "
+                f"{'MRT ms':>8} {'erases':>8} {'GC':>6}"
+            )
+            lines.append(header)
+            for app, row in self.per_app.items():
+                lines.append(
+                    f"  {app:<14} {int(row['devices']):>7} "
+                    f"{int(row['requests']):>9} "
+                    f"{row['mean_response_ms']:>8.3f} "
+                    f"{row['mean_erases']:>8.1f} "
+                    f"{row['mean_gc_collections']:>6.1f}"
+                )
+        if self.eol_days:
+            lines.append("")
+            lines.append(
+                f"end-of-life projection (budget {self.erase_budget} P/E "
+                "cycles, observed wear rate):"
+            )
+            cells = "  ".join(
+                f"{key}={'inf' if np.isinf(value) else format(value, '.0f')}"
+                for key, value in self.eol_days.items()
+            )
+            lines.append(f"  days to EOL: {cells}")
+        return "\n".join(lines)
+
+
+def _percentile_row(
+    values: np.ndarray, percentiles: Sequence[float], scale: float
+) -> Dict[str, float]:
+    row = {
+        f"p{point:g}": float(np.percentile(values, point)) * scale
+        for point in percentiles
+    }
+    row["mean"] = float(values.mean()) * scale
+    return row
+
+
+def fleet_report(
+    store: FleetStore,
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+    erase_budget: int = DEFAULT_ERASE_BUDGET,
+) -> FleetReport:
+    """Roll a fleet store up into a :class:`FleetReport`.
+
+    Works on whole per-device columns: memory scales with the number of
+    devices (8 bytes per device per column), never with the number of
+    requests, so reporting stays cheap even for request-heavy fleets.
+    """
+    if erase_budget <= 0:
+        raise ValueError("erase_budget must be positive")
+    devices = len(store)
+    report = FleetReport(
+        name=store.scenario().name,
+        devices=devices,
+        total_requests=int(store.column("requests").sum()),
+        erase_budget=erase_budget,
+    )
+    if devices == 0:
+        return report
+
+    for column, label, scale in PERCENTILE_COLUMNS:
+        report.percentiles[label] = _percentile_row(
+            store.column(column).astype(np.float64), percentiles, scale
+        )
+
+    app_ids = store.column("app_id")
+    requests = store.column("requests")
+    mean_response_us = store.column("mean_response_us")
+    erases = store.column("erases")
+    gc_collections = store.column("gc_collections")
+    for app_id, app in enumerate(store.apps):
+        mask = app_ids == app_id
+        count = int(np.count_nonzero(mask))
+        if count == 0:
+            continue
+        report.per_app[app] = {
+            "devices": float(count),
+            "requests": float(requests[mask].sum()),
+            "mean_response_ms": float(mean_response_us[mask].mean()) * 1e-3,
+            "mean_erases": float(erases[mask].mean()),
+            "mean_gc_collections": float(gc_collections[mask].mean()),
+        }
+
+    # EOL: a device whose hottest block took max_erase cycles over
+    # duration_us keeps wearing at that rate until the budget is gone.
+    max_erase = store.column("max_erase").astype(np.float64)
+    duration_days = store.column("duration_us") / _US_PER_DAY
+    days = np.full(devices, np.inf)
+    worn = max_erase > 0
+    days[worn] = erase_budget * duration_days[worn] / max_erase[worn]
+    finite = days[np.isfinite(days)]
+    for point in percentiles:
+        key = f"p{point:g}"
+        if finite.size == days.size:
+            report.eol_days[key] = float(np.percentile(days, point))
+        elif finite.size == 0:
+            report.eol_days[key] = float("inf")
+        else:
+            # Mixed: percentiles over the sorted array handle inf fine
+            # with linear interpolation only when both neighbours are
+            # finite; fall back to the exact order statistic.
+            ordered = np.sort(days)
+            rank = min(int(np.ceil(point / 100.0 * days.size)) - 1, days.size - 1)
+            report.eol_days[key] = float(ordered[max(rank, 0)])
+    return report

@@ -1,0 +1,261 @@
+"""Declarative fleet scenarios: who is in the population, and how many.
+
+A :class:`FleetScenario` is pure data -- a frozen, JSON-loadable
+description of a simulated device population:
+
+* ``devices`` -- population size;
+* ``apps`` -- a categorical mix over the paper's app profiles and combo
+  workloads (any of the 25 :data:`repro.workloads.ALL_TRACES` names);
+* ``configs`` -- a distribution over device configurations (the Table V
+  schemes and their test-scale variants, :data:`CONFIG_FACTORIES`);
+* ``fault_profiles`` -- a distribution over the named fault profiles of
+  :data:`repro.faults.plan.PROFILES` (wear states, flaky flash);
+* optional per-device rate/size scaling ranges, applied with
+  :func:`repro.workloads.scale_rate` / :func:`~repro.workloads.scale_sizes`;
+* one base ``seed``.
+
+Determinism contract
+--------------------
+Every per-device random decision is drawn from a stream derived as
+``sha256("fleet:{seed}:{device_index}")`` -- the same named-stream
+discipline :mod:`repro.faults.plan` uses.  A device's identity therefore
+depends only on ``(scenario.seed, index)``, never on how many other
+devices were sampled or which process sampled them, so any single device
+can be re-simulated in isolation bit-identically to its in-fleet run
+(``repro-fleet show-device N --resimulate`` proves this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.emmc.configs import (
+    eight_ps,
+    four_ps,
+    hps,
+    hps_slc,
+    small_eight_ps,
+    small_four_ps,
+    small_hps,
+)
+from repro.faults.plan import PROFILES as FAULT_PROFILES
+from repro.workloads import ALL_TRACES
+
+#: Device-config factories a scenario may draw from, keyed by name.
+CONFIG_FACTORIES = {
+    "4PS": four_ps,
+    "8PS": eight_ps,
+    "HPS": hps,
+    "HPS-SLC": hps_slc,
+    "small-4PS": small_four_ps,
+    "small-8PS": small_eight_ps,
+    "small-HPS": small_hps,
+}
+
+#: A categorical mix: ``((name, weight), ...)`` with positive weights.
+Mix = Tuple[Tuple[str, float], ...]
+
+
+def device_stream(seed: int, index: int) -> np.random.Generator:
+    """The per-device sampling stream, ``sha256("fleet:{seed}:{index}")``.
+
+    Independent across devices and of every other stream in the system
+    (faults, workload generation), so sampling device *k* never perturbs
+    device *k+1*.
+    """
+    digest = hashlib.sha256(f"fleet:{seed}:{index}".encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "big"))
+
+
+def derive_seed(seed: int, index: int, label: str) -> int:
+    """A derived integer seed for a device's sub-system (trace, faults).
+
+    Label-addressed like :meth:`repro.faults.plan.FaultPlan.stream`, so
+    the trace seed does not depend on how many sampling draws the
+    population sampler took -- adding a new sampled field to the
+    scenario never reshuffles every device's trace.
+    """
+    digest = hashlib.sha256(f"fleet:{seed}:{index}:{label}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def _normalize_mix(raw, what: str) -> Mix:
+    """Coerce a dict / pair-list into the canonical tuple-of-pairs mix."""
+    if isinstance(raw, dict):
+        pairs = [(str(name), float(weight)) for name, weight in raw.items()]
+    else:
+        pairs = [(str(name), float(weight)) for name, weight in raw]
+    if not pairs:
+        raise ValueError(f"{what} mix must not be empty")
+    return tuple(pairs)
+
+
+def _check_mix(mix: Mix, known: Iterable[str], what: str) -> None:
+    known = set(known)
+    seen = set()
+    for name, weight in mix:
+        if name not in known:
+            raise ValueError(
+                f"unknown {what} {name!r} (known: {', '.join(sorted(known))})"
+            )
+        if name in seen:
+            raise ValueError(f"duplicate {what} {name!r} in mix")
+        seen.add(name)
+        if not weight > 0:
+            raise ValueError(f"{what} {name!r} has non-positive weight {weight}")
+
+
+def _check_range(value: Optional[Tuple[float, float]], what: str) -> None:
+    if value is None:
+        return
+    lo, hi = value
+    if not (0 < lo <= hi):
+        raise ValueError(f"{what} must satisfy 0 < lo <= hi, got ({lo}, {hi})")
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """Frozen, JSON-loadable description of one device population."""
+
+    devices: int
+    name: str = "fleet"
+    seed: int = 0
+    requests_per_device: int = 400
+    apps: Mix = (("Twitter", 1.0),)
+    configs: Mix = (("4PS", 1.0),)
+    fault_profiles: Mix = (("none", 1.0),)
+    rate_factor_range: Optional[Tuple[float, float]] = None
+    size_factor_range: Optional[Tuple[float, float]] = None
+    #: Run the generator's pilot-based temporal-locality calibration per
+    #: device.  Off by default: a fleet draws a fresh trace seed per
+    #: device, and the pilot (2 x 4000-request generations) would
+    #: dominate the per-device cost at population scale.
+    calibrate_temporal: bool = False
+
+    def __post_init__(self) -> None:
+        if self.devices <= 0:
+            raise ValueError("devices must be positive")
+        if self.requests_per_device <= 0:
+            raise ValueError("requests_per_device must be positive")
+        # Coerce list-of-pairs (e.g. straight from JSON) into tuples so
+        # the dataclass stays hashable and picklable by value.
+        for attr in ("apps", "configs", "fault_profiles"):
+            object.__setattr__(self, attr, _normalize_mix(getattr(self, attr), attr))
+        for attr in ("rate_factor_range", "size_factor_range"):
+            value = getattr(self, attr)
+            if value is not None:
+                object.__setattr__(self, attr, (float(value[0]), float(value[1])))
+        _check_mix(self.apps, ALL_TRACES, "app")
+        _check_mix(self.configs, CONFIG_FACTORIES, "config")
+        _check_mix(self.fault_profiles, FAULT_PROFILES, "fault profile")
+        _check_range(self.rate_factor_range, "rate_factor_range")
+        _check_range(self.size_factor_range, "size_factor_range")
+
+    # -- derived ---------------------------------------------------------------
+
+    def app_names(self) -> List[str]:
+        """Mix member names, in mix order (the store's string table)."""
+        return [name for name, _ in self.apps]
+
+    def config_names(self) -> List[str]:
+        return [name for name, _ in self.configs]
+
+    def fault_profile_names(self) -> List[str]:
+        return [name for name, _ in self.fault_profiles]
+
+    def with_overrides(self, **changes) -> "FleetScenario":
+        """Copy with some fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human summary for CLI output."""
+        apps = ", ".join(f"{name}:{weight:g}" for name, weight in self.apps)
+        configs = ", ".join(f"{name}:{weight:g}" for name, weight in self.configs)
+        parts = [
+            f"{self.devices} devices",
+            f"seed={self.seed}",
+            f"{self.requests_per_device} req/device",
+            f"apps[{apps}]",
+            f"configs[{configs}]",
+        ]
+        if any(name != "none" for name, _ in self.fault_profiles):
+            faults = ", ".join(
+                f"{name}:{weight:g}" for name, weight in self.fault_profiles
+            )
+            parts.append(f"faults[{faults}]")
+        if self.rate_factor_range is not None:
+            lo, hi = self.rate_factor_range
+            parts.append(f"rate x[{lo:g}, {hi:g}]")
+        if self.size_factor_range is not None:
+            lo, hi = self.size_factor_range
+            parts.append(f"size x[{lo:g}, {hi:g}]")
+        return ", ".join(parts)
+
+    # -- (de)serialization -----------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready dict.
+
+        Mixes serialize as ``[[name, weight], ...]`` pair lists, never as
+        objects: mix *order* is semantic (it fixes the categorical
+        sampling edges and the store's string tables), and canonical
+        JSON's ``sort_keys`` would silently reorder an object's keys.
+        """
+        return {
+            "name": self.name,
+            "devices": self.devices,
+            "seed": self.seed,
+            "requests_per_device": self.requests_per_device,
+            "apps": [[name, weight] for name, weight in self.apps],
+            "configs": [[name, weight] for name, weight in self.configs],
+            "fault_profiles": [
+                [name, weight] for name, weight in self.fault_profiles
+            ],
+            "rate_factor_range": (
+                None
+                if self.rate_factor_range is None
+                else list(self.rate_factor_range)
+            ),
+            "size_factor_range": (
+                None
+                if self.size_factor_range is None
+                else list(self.size_factor_range)
+            ),
+            "calibrate_temporal": self.calibrate_temporal,
+        }
+
+    def dumps(self) -> str:
+        """Canonical JSON (sorted keys, no timestamps -- byte-stable)."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "FleetScenario":
+        if not isinstance(raw, dict):
+            raise ValueError("fleet scenario must be a JSON object")
+        if "devices" not in raw:
+            raise ValueError("fleet scenario is missing the 'devices' field")
+        known = {f.name for f in cls.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+        unknown = set(raw) - known
+        if unknown:
+            raise ValueError(f"unknown fleet scenario fields: {sorted(unknown)}")
+        kwargs: Dict[str, object] = {}
+        for key, value in raw.items():
+            if key in ("rate_factor_range", "size_factor_range") and value is not None:
+                value = (float(value[0]), float(value[1]))  # type: ignore[index]
+            kwargs[key] = value
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def loads(cls, text: str) -> "FleetScenario":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FleetScenario":
+        """Load a scenario from a JSON file."""
+        return cls.loads(Path(path).read_text())

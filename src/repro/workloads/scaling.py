@@ -4,19 +4,94 @@ The paper's workloads stress the device lightly (Characteristic 3); these
 utilities let experiments ask "what if the same I/O arrived k times
 faster/slower?" or "what if requests were twice as large?" without
 re-calibrating profiles.
+
+Both transforms are vectorized over the trace's columnar view and adopt
+the scaled columns via :meth:`repro.trace.Trace.from_columns`, so fleet
+runs applying per-device scaling never pay a per-request Python loop.
+The retired scalar implementations live on as ``_reference_scale_rate``
+/ ``_reference_scale_sizes``: they are the oracle the unit tests compare
+the vectorized path against, element for element.
+
+Bit-identity argument (the :mod:`repro.trace.columns` rules): dividing
+the arrival column by ``factor`` and multiplying the page column by
+``factor`` are the same IEEE-754 element-wise operations the scalar
+loops performed per request, and ``np.rint`` rounds half-to-even exactly
+like the built-in ``round`` -- so the vectorized traces equal the scalar
+ones request for request.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.trace import Request, SECTOR, Trace
+from repro.trace.columns import TraceColumns
 
 
 def scale_rate(trace: Trace, factor: float) -> Trace:
     """Compress (factor > 1) or stretch (factor < 1) the arrival times.
 
     The request mix is untouched; only inter-arrival gaps scale by
-    ``1 / factor``, so the arrival rate scales by ``factor``.
+    ``1 / factor``, so the arrival rate scales by ``factor``.  Device
+    timestamps (if any) are dropped -- a rescaled trace has not been
+    replayed.
     """
+    if factor <= 0:
+        raise ValueError("rate factor must be positive")
+    columns = trace.columns()
+    nan = np.full(len(columns), np.nan, dtype=np.float64)
+    scaled = TraceColumns(
+        columns.arrival_us / factor,
+        nan,
+        nan.copy(),
+        columns.lba,
+        columns.size,
+        columns.op,
+        np.zeros(len(columns), dtype=np.uint8),
+    )
+    return Trace.from_columns(
+        name=f"{trace.name}[x{factor:g}]",
+        columns=scaled,
+        metadata={**trace.metadata, "rate_factor": f"{factor:g}"},
+    )
+
+
+def scale_sizes(trace: Trace, factor: float, max_bytes: int = 16 * 1024 * 1024) -> Trace:
+    """Scale request sizes by ``factor`` (4 KB-aligned, at least one page)."""
+    if factor <= 0:
+        raise ValueError("size factor must be positive")
+    columns = trace.columns()
+    pages = np.maximum(1, np.rint((columns.size // SECTOR) * factor)).astype(np.int64)
+    size = np.minimum(pages * SECTOR, max_bytes - max_bytes % SECTOR)
+    nan = np.full(len(columns), np.nan, dtype=np.float64)
+    scaled = TraceColumns(
+        columns.arrival_us,
+        nan,
+        nan.copy(),
+        columns.lba,
+        size,
+        columns.op,
+        np.zeros(len(columns), dtype=np.uint8),
+    )
+    return Trace.from_columns(
+        name=f"{trace.name}[size x{factor:g}]",
+        columns=scaled,
+        metadata={**trace.metadata, "size_factor": f"{factor:g}"},
+    )
+
+
+def truncate(trace: Trace, num_requests: int) -> Trace:
+    """Keep only the first ``num_requests`` requests."""
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    return trace.with_requests(trace.requests[:num_requests])
+
+
+# -- scalar reference implementations (test oracles) ---------------------------
+
+
+def _reference_scale_rate(trace: Trace, factor: float) -> Trace:
+    """The original request-at-a-time ``scale_rate`` (oracle only)."""
     if factor <= 0:
         raise ValueError("rate factor must be positive")
     return Trace(
@@ -34,8 +109,10 @@ def scale_rate(trace: Trace, factor: float) -> Trace:
     )
 
 
-def scale_sizes(trace: Trace, factor: float, max_bytes: int = 16 * 1024 * 1024) -> Trace:
-    """Scale request sizes by ``factor`` (4 KB-aligned, at least one page)."""
+def _reference_scale_sizes(
+    trace: Trace, factor: float, max_bytes: int = 16 * 1024 * 1024
+) -> Trace:
+    """The original request-at-a-time ``scale_sizes`` (oracle only)."""
     if factor <= 0:
         raise ValueError("size factor must be positive")
     requests = []
@@ -55,10 +132,3 @@ def scale_sizes(trace: Trace, factor: float, max_bytes: int = 16 * 1024 * 1024) 
         requests=requests,
         metadata={**trace.metadata, "size_factor": f"{factor:g}"},
     )
-
-
-def truncate(trace: Trace, num_requests: int) -> Trace:
-    """Keep only the first ``num_requests`` requests."""
-    if num_requests <= 0:
-        raise ValueError("num_requests must be positive")
-    return trace.with_requests(trace.requests[:num_requests])

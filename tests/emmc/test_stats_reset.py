@@ -1,0 +1,67 @@
+"""Regression tests for the DeviceStats reuse guarantee.
+
+The fleet executor asserts ``device.stats.fresh`` before every replay;
+these tests pin the contract: a just-constructed stats object is fresh,
+any replay dirties it, and ``reset()`` restores it to the constructed
+state field for field.
+"""
+
+from repro.emmc import EmmcDevice, PageKind, small_four_ps
+from repro.emmc.stats import DeviceStats
+from repro.sim import Host
+from repro.workloads import generate_trace
+
+
+class TestFreshness:
+    def test_constructed_stats_are_fresh(self):
+        assert DeviceStats().fresh
+
+    def test_fresh_device_stats_are_fresh(self):
+        assert EmmcDevice(small_four_ps()).stats.fresh
+
+    def test_any_touch_makes_stats_stale(self):
+        stats = DeviceStats()
+        stats.requests += 1
+        assert not stats.fresh
+
+    def test_sample_lists_make_stats_stale(self):
+        stats = DeviceStats()
+        stats.response_us.append(1.0)
+        assert not stats.fresh
+
+    def test_per_kind_dicts_make_stats_stale(self):
+        stats = DeviceStats()
+        stats.record_op_counts(PageKind.K4, reads=1)
+        assert not stats.fresh
+
+    def test_replay_makes_stats_stale(self):
+        device = EmmcDevice(small_four_ps())
+        trace = generate_trace("Twitter", seed=1, num_requests=10)
+        Host(device).replay(trace)
+        assert not device.stats.fresh
+
+
+class TestReset:
+    def test_reset_restores_constructed_state(self):
+        device = EmmcDevice(small_four_ps())
+        trace = generate_trace("Twitter", seed=1, num_requests=10)
+        Host(device).replay(trace)
+        device.stats.reset()
+        assert device.stats.fresh
+        assert vars(device.stats) == vars(DeviceStats())
+
+    def test_reset_is_idempotent(self):
+        stats = DeviceStats()
+        stats.reset()
+        stats.reset()
+        assert stats.fresh
+
+    def test_reset_does_not_alias_defaults(self):
+        # The reset lists/dicts must be fresh objects, not shared with
+        # other instances' defaults.
+        a, b = DeviceStats(), DeviceStats()
+        a.reset()
+        a.response_us.append(1.0)
+        a.page_reads[PageKind.K4] = 1
+        assert b.response_us == []
+        assert b.page_reads == {}

@@ -1,0 +1,151 @@
+"""Unit tests for the deterministic population sampler."""
+
+import pytest
+
+from repro.fleet import (
+    FleetScenario,
+    build_config,
+    build_fault_plan,
+    build_trace,
+    device_spec,
+    iter_population,
+    population_counts,
+)
+
+
+def _scenario(**overrides):
+    base = dict(
+        devices=40,
+        seed=11,
+        requests_per_device=30,
+        apps={"Twitter": 1.0, "Music": 1.0},
+        configs={"small-4PS": 1.0},
+        fault_profiles={"none": 3.0, "flaky": 1.0},
+    )
+    base.update(overrides)
+    return FleetScenario(**base)
+
+
+class TestDeviceSpec:
+    def test_pure_function_of_seed_and_index(self):
+        scenario = _scenario()
+        assert device_spec(scenario, 7) == device_spec(scenario, 7)
+
+    def test_independent_of_population_size(self):
+        # Device 7's identity must not change when the fleet grows: any
+        # device re-simulates in isolation regardless of fleet size.
+        small = _scenario(devices=10)
+        large = _scenario(devices=10_000)
+        assert device_spec(small, 7) == device_spec(large, 7)
+
+    def test_seed_changes_identities(self):
+        a = [device_spec(_scenario(seed=0), i) for i in range(20)]
+        b = [device_spec(_scenario(seed=1), i) for i in range(20)]
+        assert any(x.app != y.app or x.trace_seed != y.trace_seed
+                   for x, y in zip(a, b))
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(ValueError, match="outside population"):
+            device_spec(_scenario(devices=5), 5)
+        with pytest.raises(ValueError, match="outside population"):
+            device_spec(_scenario(devices=5), -1)
+
+    def test_sub_seeds_are_label_derived_not_drawn(self):
+        # Adding scaling ranges changes the *drawn* fields but must not
+        # reshuffle the label-derived trace/fault seeds.
+        plain = device_spec(_scenario(), 3)
+        scaled = device_spec(_scenario(rate_factor_range=(0.5, 2.0)), 3)
+        assert plain.trace_seed == scaled.trace_seed
+        assert plain.fault_seed == scaled.fault_seed
+
+    def test_factors_default_to_exactly_one(self):
+        spec = device_spec(_scenario(), 0)
+        assert spec.rate_factor == 1.0
+        assert spec.size_factor == 1.0
+
+    def test_factors_respect_bounds(self):
+        scenario = _scenario(
+            devices=60, rate_factor_range=(0.5, 2.0), size_factor_range=(1.0, 4.0)
+        )
+        for spec in iter_population(scenario):
+            assert 0.5 <= spec.rate_factor <= 2.0
+            assert 1.0 <= spec.size_factor <= 4.0
+
+    def test_degenerate_range_is_constant_without_a_draw(self):
+        # (lo == hi) must behave exactly like the constant -- and take no
+        # stream draw, so downstream fields are unaffected.
+        plain = device_spec(_scenario(), 3)
+        pinned = device_spec(_scenario(rate_factor_range=(2.0, 2.0)), 3)
+        assert pinned.rate_factor == 2.0
+        assert pinned.size_factor == plain.size_factor
+
+    def test_describe_names_the_identity(self):
+        scenario = _scenario(rate_factor_range=(2.0, 2.0))
+        text = device_spec(scenario, 1).describe()
+        assert "device 1" in text
+        assert "app=" in text
+        assert "rate x2" in text
+
+
+class TestPopulation:
+    def test_iter_population_covers_range(self):
+        scenario = _scenario(devices=10)
+        specs = list(iter_population(scenario, 2, 6))
+        assert [s.index for s in specs] == [2, 3, 4, 5]
+
+    def test_iter_population_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            list(iter_population(_scenario(devices=5), 3, 7))
+
+    def test_counts_sum_to_population(self):
+        scenario = _scenario(devices=80)
+        counts = population_counts(scenario)
+        assert sum(counts["apps"].values()) == 80
+        assert sum(counts["configs"].values()) == 80
+        assert sum(counts["fault_profiles"].values()) == 80
+
+    def test_mix_weights_shape_the_population(self):
+        counts = population_counts(
+            _scenario(devices=300, fault_profiles={"none": 9.0, "flaky": 1.0})
+        )
+        # 9:1 mix over 300 devices: the flaky share should be minor.
+        assert counts["fault_profiles"]["none"] > counts["fault_profiles"]["flaky"]
+        assert counts["fault_profiles"]["flaky"] > 0
+
+
+class TestBuilders:
+    def test_build_config_returns_fresh_instances(self):
+        spec = device_spec(_scenario(), 0)
+        assert build_config(spec) is not build_config(spec)
+        assert build_config(spec).name == build_config(spec).name
+
+    def test_build_fault_plan_uses_device_fault_seed(self):
+        scenario = _scenario(fault_profiles={"flaky": 1.0})
+        spec = device_spec(scenario, 4)
+        plan = build_fault_plan(spec)
+        assert plan.seed == spec.fault_seed
+        assert plan.read_error_rate > 0
+
+    def test_build_trace_is_deterministic_and_tagged(self):
+        scenario = _scenario()
+        spec = device_spec(scenario, 2)
+        a = build_trace(scenario, spec)
+        b = build_trace(scenario, spec)
+        assert a.requests == b.requests
+        assert len(a) == scenario.requests_per_device
+        assert a.name.startswith(spec.app)
+
+    def test_build_trace_applies_scaling(self):
+        scenario = _scenario(
+            devices=60, rate_factor_range=(2.0, 2.0), size_factor_range=(2.0, 2.0)
+        )
+        spec = device_spec(scenario, 0)
+        trace = build_trace(scenario, spec)
+        assert trace.metadata["rate_factor"] == "2"
+        assert trace.metadata["size_factor"] == "2"
+
+    def test_different_devices_get_different_traces(self):
+        scenario = _scenario(apps={"Twitter": 1.0})
+        first = build_trace(scenario, device_spec(scenario, 0))
+        second = build_trace(scenario, device_spec(scenario, 1))
+        assert first.requests != second.requests

@@ -1,0 +1,111 @@
+"""Report tests over a fabricated fleet store (exact, no simulation)."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import FleetScenario, FleetStoreWriter, fleet_report, open_fleet_store
+from repro.fleet.store import FLEET_COLUMNS
+
+
+def _scenario(devices):
+    return FleetScenario(
+        devices=devices,
+        name="report-test",
+        apps={"Twitter": 1.0, "Music": 1.0},
+        configs={"small-4PS": 1.0},
+    )
+
+
+def _write_store(path, rows):
+    writer = FleetStoreWriter(path, _scenario(len(rows)))
+    for index, overrides in enumerate(rows):
+        row = {name: 0.0 if np.dtype(d).kind == "f" else 0 for name, d in FLEET_COLUMNS}
+        row["device_index"] = index
+        row.update(overrides)
+        writer.append_row(row)
+    writer.close()
+    return open_fleet_store(path)
+
+
+_DAY_US = 86_400.0 * 1e6
+
+
+class TestFleetReport:
+    def test_totals_and_percentiles(self, tmp_path):
+        store = _write_store(
+            tmp_path / "f",
+            [
+                {"requests": 10, "mean_response_us": 1000.0},
+                {"requests": 20, "mean_response_us": 3000.0},
+                {"requests": 30, "mean_response_us": 5000.0},
+            ],
+        )
+        report = fleet_report(store, percentiles=(50.0,))
+        assert report.devices == 3
+        assert report.total_requests == 60
+        row = report.percentiles["mean response (ms)"]
+        assert row["p50"] == pytest.approx(3.0)
+        assert row["mean"] == pytest.approx(3.0)
+
+    def test_per_app_breakdown_groups_by_app_id(self, tmp_path):
+        store = _write_store(
+            tmp_path / "f",
+            [
+                {"app_id": 0, "requests": 10, "erases": 4},
+                {"app_id": 0, "requests": 10, "erases": 6},
+                {"app_id": 1, "requests": 30, "erases": 0},
+            ],
+        )
+        report = fleet_report(store)
+        assert report.per_app["Twitter"]["devices"] == 2
+        assert report.per_app["Twitter"]["mean_erases"] == pytest.approx(5.0)
+        assert report.per_app["Music"]["requests"] == 30
+
+    def test_absent_app_omitted_from_breakdown(self, tmp_path):
+        store = _write_store(tmp_path / "f", [{"app_id": 0}])
+        report = fleet_report(store)
+        assert "Music" not in report.per_app
+
+    def test_eol_projection_from_wear_rate(self, tmp_path):
+        # One device: hottest block at 30 cycles after a 1-day recording.
+        # Budget 3000 -> 100 days to EOL at the observed rate.
+        store = _write_store(
+            tmp_path / "f",
+            [{"max_erase": 30, "duration_us": _DAY_US}],
+        )
+        report = fleet_report(store, percentiles=(50.0,), erase_budget=3000)
+        assert report.eol_days["p50"] == pytest.approx(100.0)
+
+    def test_unworn_devices_project_infinite_life(self, tmp_path):
+        store = _write_store(tmp_path / "f", [{"duration_us": _DAY_US}] * 3)
+        report = fleet_report(store, percentiles=(50.0,))
+        assert report.eol_days["p50"] == float("inf")
+
+    def test_mixed_wear_uses_order_statistics(self, tmp_path):
+        store = _write_store(
+            tmp_path / "f",
+            [
+                {"max_erase": 30, "duration_us": _DAY_US},   # 100 days
+                {"max_erase": 300, "duration_us": _DAY_US},  # 10 days
+                {"max_erase": 0, "duration_us": _DAY_US},    # inf
+            ],
+        )
+        report = fleet_report(store, percentiles=(10.0, 90.0))
+        assert report.eol_days["p10"] == pytest.approx(10.0)
+        assert report.eol_days["p90"] == float("inf")
+
+    def test_render_mentions_the_headlines(self, tmp_path):
+        store = _write_store(
+            tmp_path / "f",
+            [{"app_id": 0, "requests": 5, "max_erase": 30, "duration_us": _DAY_US}],
+        )
+        text = fleet_report(store).render()
+        assert "report-test" in text
+        assert "mean response (ms)" in text
+        assert "Twitter" in text
+        assert "end-of-life" in text
+
+    def test_rejects_bad_budget(self, tmp_path):
+        store = _write_store(tmp_path / "f", [{}])
+        with pytest.raises(ValueError, match="erase_budget"):
+            fleet_report(store, erase_budget=0)

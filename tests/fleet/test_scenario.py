@@ -1,0 +1,143 @@
+"""Unit tests for :mod:`repro.fleet.scenario`."""
+
+import json
+
+import pytest
+
+from repro.fleet import FleetScenario, derive_seed, device_stream
+
+
+def _scenario(**overrides):
+    base = dict(
+        devices=10,
+        name="s",
+        seed=7,
+        requests_per_device=50,
+        apps={"Twitter": 2.0, "WebBrowsing": 1.0},
+        configs={"small-4PS": 3.0, "small-HPS": 1.0},
+        fault_profiles={"none": 9.0, "flaky": 1.0},
+    )
+    base.update(overrides)
+    return FleetScenario(**base)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_devices(self):
+        with pytest.raises(ValueError, match="devices"):
+            _scenario(devices=0)
+
+    def test_rejects_nonpositive_requests(self):
+        with pytest.raises(ValueError, match="requests_per_device"):
+            _scenario(requests_per_device=-1)
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(ValueError, match="unknown app"):
+            _scenario(apps={"NotAnApp": 1.0})
+
+    def test_rejects_unknown_config(self):
+        with pytest.raises(ValueError, match="unknown config"):
+            _scenario(configs={"9PS": 1.0})
+
+    def test_rejects_unknown_fault_profile(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            _scenario(fault_profiles={"meltdown": 1.0})
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError, match="non-positive weight"):
+            _scenario(apps={"Twitter": 0.0})
+
+    def test_rejects_duplicate_mix_member(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            _scenario(apps=[("Twitter", 1.0), ("Twitter", 2.0)])
+
+    def test_rejects_empty_mix(self):
+        with pytest.raises(ValueError, match="empty"):
+            _scenario(apps={})
+
+    def test_rejects_bad_factor_range(self):
+        with pytest.raises(ValueError, match="rate_factor_range"):
+            _scenario(rate_factor_range=(2.0, 0.5))
+        with pytest.raises(ValueError, match="size_factor_range"):
+            _scenario(size_factor_range=(0.0, 1.0))
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        scenario = _scenario(rate_factor_range=(0.5, 2.0), size_factor_range=(1.0, 4.0))
+        assert FleetScenario.loads(scenario.dumps()) == scenario
+
+    def test_mix_order_survives_canonical_json(self):
+        # Mix order fixes the sampling edges; sort_keys canonical JSON
+        # must not be able to reorder it (regression: mixes were once
+        # serialized as objects and alphabetized by sort_keys).
+        scenario = _scenario(apps={"WebBrowsing": 1.0, "Twitter": 2.0})
+        restored = FleetScenario.loads(scenario.dumps())
+        assert restored.app_names() == ["WebBrowsing", "Twitter"]
+        assert restored == scenario
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        scenario = _scenario()
+        path.write_text(scenario.dumps())
+        assert FleetScenario.load(path) == scenario
+
+    def test_dumps_is_byte_stable(self):
+        scenario = _scenario()
+        assert scenario.dumps() == scenario.dumps()
+        assert scenario.dumps().endswith("\n")
+
+    def test_from_dict_rejects_unknown_fields(self):
+        raw = json.loads(_scenario().dumps())
+        raw["colour"] = "red"
+        with pytest.raises(ValueError, match="unknown fleet scenario fields"):
+            FleetScenario.from_dict(raw)
+
+    def test_from_dict_requires_devices(self):
+        with pytest.raises(ValueError, match="devices"):
+            FleetScenario.from_dict({"name": "x"})
+
+    def test_mixes_accept_pair_lists(self):
+        scenario = FleetScenario(devices=3, apps=[["Twitter", 1.0]])
+        assert scenario.apps == (("Twitter", 1.0),)
+
+
+class TestDerived:
+    def test_name_tables_in_mix_order(self):
+        scenario = _scenario()
+        assert scenario.app_names() == ["Twitter", "WebBrowsing"]
+        assert scenario.config_names() == ["small-4PS", "small-HPS"]
+        assert scenario.fault_profile_names() == ["none", "flaky"]
+
+    def test_with_overrides(self):
+        scenario = _scenario().with_overrides(devices=99, seed=1)
+        assert scenario.devices == 99
+        assert scenario.seed == 1
+        assert scenario.apps == _scenario().apps
+
+    def test_describe_mentions_population(self):
+        text = _scenario(rate_factor_range=(0.5, 2.0)).describe()
+        assert "10 devices" in text
+        assert "Twitter" in text
+        assert "flaky" in text
+        assert "rate x[0.5, 2]" in text
+
+    def test_scenario_is_hashable_and_picklable(self):
+        import pickle
+
+        scenario = _scenario()
+        assert hash(scenario) == hash(_scenario())
+        assert pickle.loads(pickle.dumps(scenario)) == scenario
+
+
+class TestStreams:
+    def test_device_stream_depends_on_seed_and_index(self):
+        a = device_stream(0, 1).random()
+        assert device_stream(0, 1).random() == a
+        assert device_stream(0, 2).random() != a
+        assert device_stream(1, 1).random() != a
+
+    def test_derive_seed_is_label_addressed(self):
+        assert derive_seed(0, 5, "trace") == derive_seed(0, 5, "trace")
+        assert derive_seed(0, 5, "trace") != derive_seed(0, 5, "faults")
+        assert derive_seed(0, 5, "trace") != derive_seed(0, 6, "trace")
+        assert derive_seed(3, 5, "trace") != derive_seed(0, 5, "trace")

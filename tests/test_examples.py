@@ -44,6 +44,12 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "SQLite" in result.stdout
 
+    def test_fleet_simulation_quick(self):
+        result = _run("fleet_simulation.py", "--quick", "--jobs", "2")
+        assert result.returncode == 0, result.stderr
+        assert "Wear percentiles across the fleet" in result.stdout
+        assert "end-of-life projection" in result.stdout
+
     def test_replay_blktrace_sample(self):
         result = _run("replay_blktrace.py")
         assert result.returncode == 0, result.stderr

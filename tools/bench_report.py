@@ -1,9 +1,9 @@
-"""Machine-readable performance report for replay and telemetry.
+"""Machine-readable performance report for replay, telemetry and fleet.
 
-Measures four headline numbers and writes them to ``BENCH_PR9.json``
+Measures five headline numbers and writes them to ``BENCH_PR10.json``
 (CI uploads the file as a build artifact)::
 
-    PYTHONHASHSEED=0 PYTHONPATH=src python tools/bench_report.py --out BENCH_PR9.json
+    PYTHONHASHSEED=0 PYTHONPATH=src python tools/bench_report.py --out BENCH_PR10.json
 
 * **replay** -- single-trace qd=1 replay throughput (requests/s) on the
   event kernel vs the two-pass fast path;
@@ -12,6 +12,9 @@ Measures four headline numbers and writes them to ``BENCH_PR9.json``
 * **telemetry** -- kernel replay battery with no sink vs a recording
   :class:`~repro.telemetry.Telemetry` sink (the enabled-overhead factor
   guarded by ``benchmarks/test_bench_telemetry.py``);
+* **fleet** -- population throughput (devices/s) of
+  :func:`repro.fleet.run_fleet` serial vs two workers, with the
+  manifest digest proving both runs produced the same bytes;
 * **sweep** -- wall seconds of a quick experiment sweep with the
   dispatcher in its default (``auto``) mode.
 
@@ -152,6 +155,53 @@ def bench_telemetry(apps, requests, seed, rounds):
     }
 
 
+def bench_fleet(devices, requests, seed, rounds):
+    """Fleet executor: devices/s serial vs two workers, same bytes."""
+    import hashlib
+    import tempfile
+    from pathlib import Path
+
+    from repro.fleet import FleetScenario, run_fleet
+
+    scenario = FleetScenario(
+        devices=devices,
+        name="bench",
+        seed=seed,
+        requests_per_device=requests,
+        apps={"Twitter": 2.0, "Music": 1.0, "Messaging": 1.0},
+        configs={"small-4PS": 1.0, "small-HPS": 1.0},
+        rate_factor_range=(0.5, 2.0),
+    )
+
+    def digest(path):
+        return hashlib.sha256((path / "fleet.json").read_bytes()).hexdigest()
+
+    serial_best = parallel_best = float("inf")
+    with tempfile.TemporaryDirectory() as tmp:
+        serial_out = Path(tmp) / "serial"
+        parallel_out = Path(tmp) / "parallel"
+        for _ in range(rounds):
+            started = time.perf_counter()
+            run_fleet(scenario, serial_out, jobs=1, overwrite=True)
+            serial_best = min(serial_best, time.perf_counter() - started)
+            started = time.perf_counter()
+            run_fleet(scenario, parallel_out, jobs=2, overwrite=True)
+            parallel_best = min(parallel_best, time.perf_counter() - started)
+        identical = digest(serial_out) == digest(parallel_out)
+        manifest_sha = digest(serial_out)
+    return {
+        "devices": devices,
+        "requests_per_device": requests,
+        "serial_s": round(serial_best, 4),
+        "two_worker_s": round(parallel_best, 4),
+        "serial_devices_per_s": round(devices / serial_best, 1),
+        "two_worker_devices_per_s": round(devices / parallel_best, 1),
+        "wall_speedup": round(serial_best / parallel_best, 2),
+        "bytes_identical": identical,
+        "manifest_sha256": manifest_sha,
+    }
+
+
 def bench_sweep(ids, num_requests, seed):
     """Wall seconds of a quick sweep with the dispatcher on auto."""
     from repro.experiments import parallel
@@ -172,7 +222,7 @@ def bench_sweep(ids, num_requests, seed):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_PR9.json")
+    parser.add_argument("--out", default="BENCH_PR10.json")
     parser.add_argument("--rounds", type=int, default=3,
                         help="interleaved repetitions per mode (default 3)")
     parser.add_argument("--seed", type=int, default=2015)
@@ -181,6 +231,8 @@ def main(argv=None) -> int:
     parser.add_argument("--telemetry-apps", nargs="*",
                         default=["Booting", "CameraVideo", "Twitter"])
     parser.add_argument("--telemetry-requests", type=int, default=1200)
+    parser.add_argument("--fleet-devices", type=int, default=120)
+    parser.add_argument("--fleet-requests", type=int, default=200)
     parser.add_argument("--sweep-ids", nargs="*", default=["fig8", "fig9"],
                         help="experiments timed in the sweep section")
     parser.add_argument("--sweep-requests", type=int, default=1500)
@@ -192,6 +244,9 @@ def main(argv=None) -> int:
         "battery": bench_battery(args.battery_requests, args.seed, args.rounds),
         "telemetry": bench_telemetry(
             args.telemetry_apps, args.telemetry_requests, args.seed, args.rounds
+        ),
+        "fleet": bench_fleet(
+            args.fleet_devices, args.fleet_requests, args.seed, args.rounds
         ),
     }
     if not args.skip_sweep:
